@@ -1,0 +1,76 @@
+//! Benchmarks of the opportunity studies (Secs. III/VI/VIII): power-cap
+//! over-provisioning, co-location pairing, two-tier economics, and
+//! checkpointing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::bench_sim;
+use sc_core::gpu_views;
+use sc_opportunity::{checkpoint, colocation, powercap, tiering, PairingPolicy, Tier};
+use std::hint::black_box;
+
+fn bench_opportunity(c: &mut Criterion) {
+    let out = bench_sim();
+    let views = gpu_views(&out.dataset);
+
+    let mut g = c.benchmark_group("opportunity");
+    g.sample_size(10);
+
+    g.bench_function("powercap_sweep", |b| {
+        let caps = [100.0, 150.0, 200.0, 250.0, 300.0];
+        b.iter(|| {
+            black_box(powercap::OverProvisionStudy::run(
+                &views,
+                &caps,
+                448.0 * 300.0,
+                300.0,
+                20.0,
+            ))
+        })
+    });
+
+    g.bench_function("tiering_three_policies", |b| {
+        let slow = Tier { speed: 0.5, cost: 0.35 };
+        b.iter(|| black_box(tiering::evaluate(&views, slow)))
+    });
+
+    g.bench_function("checkpoint_sweep", |b| {
+        let intervals = [300.0, 900.0, 1_800.0, 3_600.0, 7_200.0];
+        b.iter(|| black_box(checkpoint::sweep(&views, &intervals, 30.0)))
+    });
+
+    // Pairwise phase-interference simulation — the expensive one.
+    g.bench_function("colocation_40_jobs", |b| {
+        // Build a 40-candidate set once; measure the pairing simulation.
+        let mut candidates = Vec::new();
+        for (i, v) in views.iter().filter(|v| v.per_gpu.len() == 1).take(40).enumerate() {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i as u64);
+            let truth = sc_workload::truth::generate_gpu_truth(
+                &mut rng,
+                &sc_workload::TruthParams {
+                    duration: 2_000.0,
+                    active_fraction: 0.6,
+                    mean_levels: sc_workload::ResourceLevels {
+                        sm: v.agg.sm_util.mean,
+                        mem: v.agg.mem_util.mean,
+                        mem_size: v.agg.mem_size_util.mean,
+                        pcie_tx: 5.0,
+                        pcie_rx: 5.0,
+                    },
+                    ..Default::default()
+                },
+            );
+            candidates.push(colocation::Candidate {
+                truth,
+                duration: 1_500.0,
+                mean_sm: v.agg.sm_util.mean,
+            });
+        }
+        b.iter(|| {
+            black_box(colocation::evaluate_policy(&candidates, PairingPolicy::UtilizationAware))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_opportunity);
+criterion_main!(benches);

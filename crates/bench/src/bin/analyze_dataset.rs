@@ -1,0 +1,27 @@
+//! Runs the figure pipeline over a previously exported dataset
+//! (`export_dataset` output) — the consumer side of the paper's
+//! published-dataset workflow. Figures 6–7 need the 100 ms time-series
+//! subset and are not part of the dataset release; every other figure
+//! is regenerated.
+//!
+//! ```text
+//! analyze_dataset dataset.json
+//! ```
+
+use sc_core::DatasetReport;
+use sc_telemetry::Dataset;
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: analyze_dataset <dataset.json>");
+    let json = std::fs::read_to_string(&path).expect("readable dataset file");
+    let dataset = Dataset::from_json(&json).expect("valid dataset JSON");
+    eprintln!(
+        "loaded {}: {} records, {} analyzed GPU jobs, {} users",
+        path,
+        dataset.records().len(),
+        dataset.funnel().gpu_jobs,
+        dataset.funnel().unique_users
+    );
+    let report = DatasetReport::from_dataset(&dataset);
+    println!("{}", report.render_text());
+}

@@ -1,0 +1,48 @@
+//! Exports the joined analysis dataset as JSON — the synthetic
+//! counterpart of the dataset the paper released at dcc.mit.edu.
+//!
+//! ```text
+//! export_dataset [--scale F] [--seed N] [--out dataset.json]
+//! ```
+
+use sc_cluster::{SimConfig, Simulation};
+use sc_workload::{Trace, WorkloadSpec};
+
+fn main() {
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut out = "dataset.json".to_string();
+    let mut csv: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("numeric --scale"),
+            "--seed" => seed = value("--seed").parse().expect("integer --seed"),
+            "--out" => out = value("--out"),
+            "--csv" => csv = Some(value("--csv")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let spec = WorkloadSpec::supercloud().scaled(scale);
+    let trace = Trace::generate(&spec, seed);
+    let sim = Simulation::new(SimConfig {
+        detailed_series_jobs: (2_149.0 * scale) as usize,
+        ..Default::default()
+    });
+    let result = sim.run(&trace);
+    if let Some(path) = &csv {
+        std::fs::write(path, result.dataset.to_csv()).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+    let json = result.dataset.to_json().expect("serializable dataset");
+    std::fs::write(&out, &json).expect("write dataset");
+    eprintln!(
+        "wrote {} ({} records, {:.1} MiB)",
+        out,
+        result.dataset.records().len(),
+        json.len() as f64 / (1024.0 * 1024.0)
+    );
+}

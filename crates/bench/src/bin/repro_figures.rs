@@ -1,0 +1,143 @@
+//! Regenerates every table and figure of the paper and writes the
+//! paper-vs-measured report.
+//!
+//! ```text
+//! repro_figures [--scale F] [--seed N] [--out EXPERIMENTS.md]
+//! ```
+//!
+//! With no arguments this runs the full 125-day / 74,820-job Supercloud
+//! reproduction (about two minutes on one core) and prints the figure
+//! series to stdout; pass `--out` to also write the Markdown comparison.
+
+use sc_cluster::{SimConfig, Simulation};
+use sc_core::AnalysisReport;
+use sc_opportunity::OpportunityReport;
+use sc_workload::{Trace, WorkloadSpec};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    out: Option<String>,
+    svg_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { scale: 1.0, seed: 42, out: None, svg_dir: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("numeric --scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("integer --seed"),
+            "--out" => args.out = Some(value("--out")),
+            "--svg-dir" => args.svg_dir = Some(value("--svg-dir")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Residual deviations we know about and accept; everything else in the
+/// tables above tracks the paper within roughly ±30%.
+const KNOWN_GAPS: &str = "\n## Known residual gaps\n\n\
+- **Queue-wait CDF depth (Fig. 3b).** The orderings hold (GPU jobs clear in \
+seconds, CPU jobs in minutes; 70% of CPU jobs wait over a minute), but our \
+simulated cluster runs at ~20% GPU occupancy, so fewer GPU jobs ever wait at \
+all than on the real system (≈90% under 2% of service time vs the paper's \
+≈50%). Reproducing the deeper waits would require knowledge of the real \
+system's background load that the paper does not report.\n\
+- **Run-time p75 (Fig. 3a).** The paper's quantile triple (4/30/300 min) is \
+wider than any single heavy-tailed family; our mixture honours the median and \
+the GPU-hour shares of Fig. 15b, leaving p75 at ≈180-230 min. The class-level \
+medians (36 min mature / 62 min exploratory) are matched instead.\n\
+- **Per-user average run time (Fig. 10).** Median-of-averages lands at \
+≈170-190 min vs the paper's 392 min; the spread (p25:p75 ≈ 1:3) and the \
+heavy-tail shape are reproduced. Lifting it further would break the job-level \
+run-time medians we prioritize.\n\
+- **Fig. 12 CoV correlations.** The paper reports low positive bars; we land \
+slightly negative to flat (≈-0.2…0.1). The qualitative claim — expert users \
+are *not* more predictable — holds; the exact bar heights depend on \
+unpublished within-user structure.\n";
+
+fn main() {
+    let args = parse_args();
+    let spec = WorkloadSpec::supercloud().scaled(args.scale);
+    eprintln!(
+        "generating {} jobs / {} users over {} days (seed {}) ...",
+        spec.total_jobs, spec.users, spec.duration_days, args.seed
+    );
+    let trace = Trace::generate(&spec, args.seed);
+    let detailed = ((2_149.0 * args.scale).round() as usize).max(50);
+    let sim = Simulation::new(SimConfig { detailed_series_jobs: detailed, ..Default::default() });
+    let t0 = std::time::Instant::now();
+    let out = sim.run(&trace);
+    eprintln!("simulated in {:?}; analyzing ...", t0.elapsed());
+    let report = AnalysisReport::from_sim(&out);
+
+    println!("{}", report.render_text());
+    println!("detailed-series jobs collected: {}", out.detailed.len());
+    println!("simulation stats: {:?}", out.stats);
+
+    println!("\n================ paper vs measured ================\n");
+    for (title, rows) in report.all_comparisons() {
+        println!("{title}");
+        for r in rows {
+            println!(
+                "  {:<42} paper {:>9.3} {:<4} measured {:>9.3}",
+                r.metric, r.paper, r.unit, r.measured
+            );
+        }
+        println!();
+    }
+
+    if let Some(dir) = &args.svg_dir {
+        let files = sc_core::svg::write_report_svgs(&report, std::path::Path::new(dir))
+            .expect("write SVGs");
+        eprintln!("wrote {} SVG figures to {dir}", files.len());
+    }
+
+    // Extra analyses: the Fig. 2 workflow chain and the Sec. II arrival
+    // patterns.
+    let views = sc_core::gpu_views(&out.dataset);
+    println!("{}", sc_core::WorkflowChain::fit(&views).render());
+    println!(
+        "{}",
+        sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset).render(&spec.deadline_days)
+    );
+
+    println!(
+        "{}",
+        sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render()
+    );
+
+    // Opportunity studies (Secs. III/VI/VIII) over the same population.
+    let opportunity = OpportunityReport::run(&views, 400);
+    println!("{}", opportunity.render());
+
+    if let Some(path) = args.out {
+        let mut md = report.experiments_markdown();
+        md.push_str(KNOWN_GAPS);
+        md.push_str("\n## Beyond the figures\n\n```text\n");
+        md.push_str(&sc_core::WorkflowChain::fit(&views).render());
+        md.push('\n');
+        md.push_str(
+            &sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset)
+                .render(&spec.deadline_days),
+        );
+        md.push('\n');
+        md.push_str(&sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render());
+        md.push_str("```\n");
+        md.push_str("\n## Opportunity studies (Secs. III, VI, VIII)\n\n```text\n");
+        md.push_str(&opportunity.render());
+        md.push_str("```\n");
+        md.push_str(&format!(
+            "\n---\nGenerated by `repro_figures --scale {} --seed {}`; detailed subset {} jobs; \
+             simulated {} events.\n",
+            args.scale, args.seed, out.detailed.len(), out.stats.events
+        ));
+        std::fs::write(&path, md).expect("write report");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-event GPU-cluster and Slurm-like scheduler simulator.
+//!
+//! The substrate the paper's measurements came from: the 224-node /
+//! 448-V100 MIT Supercloud (Table I), its single job queue, exclusive
+//! GPUs with shared CPU co-location, dense multi-GPU placement, and the
+//! prolog/epilog telemetry hooks.
+//!
+//! - [`spec`]: Table I hardware constants.
+//! - [`resources`]: node-level accounting and placement.
+//! - [`event`]: the discrete-event queue.
+//! - [`scheduler`]: FCFS + EASY backfill.
+//! - [`sim`]: the driver that replays a [`sc_workload::Trace`] and
+//!   produces the joined analysis [`sc_telemetry::Dataset`].
+//!
+//! # Example
+//!
+//! ```
+//! use sc_cluster::{SimConfig, Simulation};
+//! use sc_workload::{Trace, WorkloadSpec};
+//!
+//! let trace = Trace::generate(&WorkloadSpec::supercloud().scaled(0.002), 1);
+//! let out = Simulation::new(SimConfig::default()).run(&trace);
+//! assert!(out.dataset.funnel().gpu_jobs > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod resources;
+pub mod scheduler;
+pub mod sim;
+pub mod spec;
+
+pub use resources::{Allocation, ClusterState, NodeAlloc, NodeId, NodeState};
+pub use scheduler::{QueuedJob, RunningJob, SchedulePass, SchedulePolicy, Scheduler};
+pub use sim::{DetailedJobStats, NodeFailureModel, SimConfig, SimOutput, SimStats, Simulation};
+pub use spec::{ClusterSpec, GpuSpec, NodeSpec, SlowTierSpec};

@@ -1,0 +1,156 @@
+//! Fig. 5 — SM and memory utilization by submission interface
+//! (map-reduce, batch, interactive, other).
+
+use crate::paper::interfaces as paper;
+use crate::report::Comparison;
+use crate::view::GpuJobView;
+use sc_stats::BoxStats;
+use sc_telemetry::record::SubmissionInterface;
+
+/// Per-interface utilization box plots plus the interface job mix.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// `(interface, SM box, memory box, job share)` rows in Fig. 5 order.
+    pub rows: Vec<InterfaceRow>,
+}
+
+/// One interface's statistics.
+#[derive(Debug, Clone)]
+pub struct InterfaceRow {
+    /// The interface.
+    pub interface: SubmissionInterface,
+    /// Share of all GPU jobs submitted via this interface.
+    pub job_share: f64,
+    /// SM-utilization box plot (Fig. 5a).
+    pub sm: BoxStats,
+    /// Memory-utilization box plot (Fig. 5b).
+    pub mem: BoxStats,
+}
+
+impl Fig5 {
+    /// Computes the figure from GPU-job views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interface has no jobs at all (the calibrated trace
+    /// always populates all four).
+    pub fn compute(views: &[GpuJobView<'_>]) -> Self {
+        let total = views.len().max(1) as f64;
+        let rows = SubmissionInterface::ALL
+            .iter()
+            .map(|&interface| {
+                let sm: Vec<f64> = views
+                    .iter()
+                    .filter(|v| v.sched.interface == interface)
+                    .map(|v| v.agg.sm_util.mean)
+                    .collect();
+                let mem: Vec<f64> = views
+                    .iter()
+                    .filter(|v| v.sched.interface == interface)
+                    .map(|v| v.agg.mem_util.mean)
+                    .collect();
+                InterfaceRow {
+                    interface,
+                    job_share: sm.len() as f64 / total,
+                    sm: BoxStats::from_sample(&sm).expect("interface has jobs"),
+                    mem: BoxStats::from_sample(&mem).expect("interface has jobs"),
+                }
+            })
+            .collect();
+        Fig5 { rows }
+    }
+
+    /// The row for one interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interface is missing (cannot happen after
+    /// construction).
+    pub fn row(&self, interface: SubmissionInterface) -> &InterfaceRow {
+        self.rows.iter().find(|r| r.interface == interface).expect("all interfaces present")
+    }
+
+    /// Paper-vs-measured rows (interface mix from Sec. III).
+    pub fn comparisons(&self) -> Vec<Comparison> {
+        vec![
+            Comparison::new(
+                "map-reduce job share",
+                paper::MAP_REDUCE,
+                self.row(SubmissionInterface::MapReduce).job_share,
+                "frac",
+            ),
+            Comparison::new(
+                "batch job share",
+                paper::BATCH,
+                self.row(SubmissionInterface::Batch).job_share,
+                "frac",
+            ),
+            Comparison::new(
+                "interactive job share",
+                paper::INTERACTIVE,
+                self.row(SubmissionInterface::Interactive).job_share,
+                "frac",
+            ),
+            Comparison::new(
+                "other job share",
+                paper::OTHER,
+                self.row(SubmissionInterface::Other).job_share,
+                "frac",
+            ),
+        ]
+    }
+
+    /// Renders both panels as text box plots.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Fig. 5(a) SM utilization by interface:\n");
+        for r in &self.rows {
+            s.push_str(&format!("  {:<12} {}\n", r.interface.to_string(), r.sm.render()));
+        }
+        s.push_str("Fig. 5(b) memory utilization by interface:\n");
+        for r in &self.rows {
+            s.push_str(&format!("  {:<12} {}\n", r.interface.to_string(), r.mem.render()));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::small_views;
+
+    #[test]
+    fn other_jobs_have_highest_utilization() {
+        let views = small_views();
+        let fig = Fig5::compute(&views);
+        // "these 'other' jobs have the highest SM and memory utilization
+        // … map-reduce and interactive jobs tend to have low SM and
+        // memory utilization."
+        let other = fig.row(SubmissionInterface::Other);
+        let mr = fig.row(SubmissionInterface::MapReduce);
+        let inter = fig.row(SubmissionInterface::Interactive);
+        // Map-reduce is ~1% of jobs, so its small-sample median is noisy;
+        // require the ordering with slack there and strictly elsewhere.
+        assert!(other.sm.median >= 0.5 * mr.sm.median, "other {} vs mr {}", other.sm.median, mr.sm.median);
+        assert!(other.sm.median >= inter.sm.median);
+    }
+
+    #[test]
+    fn interface_mix_matches_sec3() {
+        let views = small_views();
+        let fig = Fig5::compute(&views);
+        let other = fig.row(SubmissionInterface::Other).job_share;
+        assert!((other - 0.65).abs() < 0.12, "other share {other}");
+        let shares: f64 = fig.rows.iter().map(|r| r.job_share).sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_lists_all_interfaces() {
+        let views = small_views();
+        let text = Fig5::compute(&views).render();
+        for label in ["map-reduce", "batch", "interactive", "other"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

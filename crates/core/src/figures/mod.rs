@@ -1,0 +1,38 @@
+//! One module per figure of the paper's evaluation.
+//!
+//! Every module exposes a `FigXX` struct with a `compute` constructor
+//! (pure function of the simulation output), a `render` method printing
+//! the same rows/series the paper plots, and a `comparisons` method
+//! returning paper-vs-measured rows for `EXPERIMENTS.md`.
+
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+
+pub use fig03::Fig3;
+pub use fig04::Fig4;
+pub use fig05::Fig5;
+pub use fig06::Fig6;
+pub use fig07::Fig7;
+pub use fig08::Fig8;
+pub use fig09::Fig9;
+pub use fig10::Fig10;
+pub use fig11::Fig11;
+pub use fig12::Fig12;
+pub use fig13::Fig13;
+pub use fig14::Fig14;
+pub use fig15::Fig15;
+pub use fig16::Fig16;
+pub use fig17::Fig17;

@@ -1,0 +1,256 @@
+//! Every quantitative claim the paper makes, as named constants.
+//!
+//! The experiment report compares each measured statistic against these.
+//! Section/figure references are in the doc comments; values are exactly
+//! as printed in the paper.
+
+/// Sec. II — dataset funnel.
+pub mod dataset {
+    /// Study length in days.
+    pub const DURATION_DAYS: f64 = 125.0;
+    /// Unique users.
+    pub const UNIQUE_USERS: usize = 191;
+    /// Total jobs executed.
+    pub const TOTAL_JOBS: usize = 74_820;
+    /// GPU jobs after the 30-second filter.
+    pub const ANALYZED_GPU_JOBS: usize = 47_120;
+    /// Jobs in the 100 ms time-series subset.
+    pub const DETAILED_SERIES_JOBS: usize = 2_149;
+}
+
+/// Fig. 3 — run times and queue waits.
+pub mod fig3 {
+    /// Median GPU-job run time, minutes.
+    pub const GPU_RUNTIME_MEDIAN_MIN: f64 = 30.0;
+    /// 25th-percentile GPU-job run time, minutes.
+    pub const GPU_RUNTIME_P25_MIN: f64 = 4.0;
+    /// 75th-percentile GPU-job run time, minutes.
+    pub const GPU_RUNTIME_P75_MIN: f64 = 300.0;
+    /// Median CPU-job run time, minutes.
+    pub const CPU_RUNTIME_MEDIAN_MIN: f64 = 8.0;
+    /// Fraction of GPU jobs spending <2% of service time queued.
+    pub const GPU_WAIT_UNDER_2PCT_FRACTION: f64 = 0.50;
+    /// Fraction of GPU jobs queued under one minute.
+    pub const GPU_WAIT_UNDER_1MIN_FRACTION: f64 = 0.70;
+    /// Fraction of CPU jobs queued over one minute.
+    pub const CPU_WAIT_OVER_1MIN_FRACTION: f64 = 0.70;
+}
+
+/// Fig. 4 — GPU resource utilization CDFs.
+pub mod fig4 {
+    /// Median job-mean SM utilization, %.
+    pub const SM_MEDIAN: f64 = 16.0;
+    /// Median job-mean memory-bandwidth utilization, %.
+    pub const MEM_MEDIAN: f64 = 2.0;
+    /// Median job-mean memory-size utilization, %.
+    pub const MEM_SIZE_MEDIAN: f64 = 9.0;
+    /// Fraction of jobs above 50% SM utilization.
+    pub const SM_ABOVE_50_FRACTION: f64 = 0.20;
+    /// Fraction of jobs above 50% memory utilization.
+    pub const MEM_ABOVE_50_FRACTION: f64 = 0.04;
+    /// Fraction of jobs above 50% memory-size utilization.
+    pub const MEM_SIZE_ABOVE_50_FRACTION: f64 = 0.15;
+}
+
+/// Sec. III — job-type mix (submission interfaces).
+pub mod interfaces {
+    /// Map-reduce share of all jobs.
+    pub const MAP_REDUCE: f64 = 0.01;
+    /// Batch share.
+    pub const BATCH: f64 = 0.30;
+    /// Interactive share.
+    pub const INTERACTIVE: f64 = 0.04;
+    /// Everything submitted via the general Slurm interface.
+    pub const OTHER: f64 = 0.65;
+}
+
+/// Fig. 6 — active/idle phases.
+pub mod fig6 {
+    /// Median fraction of run time spent active.
+    pub const ACTIVE_FRACTION_MEDIAN: f64 = 0.84;
+    /// 25th-percentile active fraction.
+    pub const ACTIVE_FRACTION_P25: f64 = 0.14;
+    /// 75th-percentile active fraction.
+    pub const ACTIVE_FRACTION_P75: f64 = 0.95;
+    /// Median CoV of idle-interval lengths, %.
+    pub const IDLE_INTERVAL_COV_MEDIAN: f64 = 126.0;
+    /// Median CoV of active-interval lengths, %.
+    pub const ACTIVE_INTERVAL_COV_MEDIAN: f64 = 169.0;
+}
+
+/// Fig. 7 — within-run utilization variability and bottlenecks.
+pub mod fig7 {
+    /// Median CoV of SM utilization during active phases, %.
+    pub const SM_COV_MEDIAN: f64 = 14.0;
+    /// Median CoV of memory utilization, %.
+    pub const MEM_COV_MEDIAN: f64 = 14.6;
+    /// Median CoV of memory-size utilization, %.
+    pub const MEM_SIZE_COV_MEDIAN: f64 = 8.2;
+    /// Fraction of jobs with SM-utilization CoV of 23% or higher.
+    pub const SM_COV_ABOVE_23_FRACTION: f64 = 0.25;
+    /// Fraction of jobs bottlenecked on SM (max hit 100%).
+    pub const SM_BOTTLENECK_FRACTION: f64 = 0.22;
+    /// Fraction of jobs bottlenecked on memory bandwidth (≈ 0).
+    pub const MEM_BOTTLENECK_FRACTION: f64 = 0.0;
+}
+
+/// Fig. 8 — multi-resource bottlenecks.
+pub mod fig8 {
+    /// Fraction of jobs with both PCIe-Rx and SM bottlenecks.
+    pub const RX_AND_SM_FRACTION: f64 = 0.09;
+    /// Upper bound on any two-resource bottleneck combination.
+    pub const ANY_PAIR_MAX_FRACTION: f64 = 0.10;
+}
+
+/// Fig. 9 — power.
+pub mod fig9 {
+    /// Median job-average GPU power, watts.
+    pub const AVG_POWER_MEDIAN_W: f64 = 45.0;
+    /// Median job-maximum GPU power, watts.
+    pub const MAX_POWER_MEDIAN_W: f64 = 87.0;
+    /// V100 maximum power draw, watts.
+    pub const TDP_W: f64 = 300.0;
+    /// Fraction of jobs unimpacted by a 150 W cap (even at max draw).
+    pub const UNIMPACTED_AT_150W: f64 = 0.60;
+    /// Fraction of jobs whose *average* draw exceeds 150 W.
+    pub const AVG_IMPACTED_AT_150W: f64 = 0.10;
+    /// The cap levels studied, watts.
+    pub const CAP_LEVELS_W: [f64; 3] = [150.0, 200.0, 250.0];
+}
+
+/// Fig. 10 — per-user averages.
+pub mod fig10 {
+    /// Median (across users) of the average job run time, minutes.
+    pub const USER_AVG_RUNTIME_MEDIAN_MIN: f64 = 392.0;
+    /// 25th percentile of per-user average run time, minutes.
+    pub const USER_AVG_RUNTIME_P25_MIN: f64 = 135.0;
+    /// 75th percentile of per-user average run time, minutes.
+    pub const USER_AVG_RUNTIME_P75_MIN: f64 = 823.0;
+    /// Median per-user average SM utilization, %.
+    pub const USER_AVG_SM_MEDIAN: f64 = 10.75;
+    /// Median per-user average memory utilization, %.
+    pub const USER_AVG_MEM_MEDIAN: f64 = 1.8;
+    /// Median per-user average memory-size utilization, %.
+    pub const USER_AVG_MEM_SIZE_MEDIAN: f64 = 11.2;
+    /// Fraction of users with average SM utilization above 20%.
+    pub const USER_SM_ABOVE_20_FRACTION: f64 = 0.32;
+    /// Fraction of users with average memory utilization above 20%.
+    pub const USER_MEM_ABOVE_20_FRACTION: f64 = 0.05;
+}
+
+/// Sec. IV — user concentration.
+pub mod concentration {
+    /// Median jobs submitted per user.
+    pub const MEDIAN_JOBS_PER_USER: f64 = 36.0;
+    /// Share of jobs from the top 5% of users.
+    pub const TOP5_JOB_SHARE: f64 = 0.44;
+    /// Share of jobs from the top 20% of users.
+    pub const TOP20_JOB_SHARE: f64 = 0.832;
+}
+
+/// Fig. 11 — per-user variability.
+pub mod fig11 {
+    /// Median per-user CoV of job run times, %.
+    pub const USER_RUNTIME_COV_MEDIAN: f64 = 155.0;
+    /// 25th percentile (across users) of run-time CoV, % — "75% of the
+    /// users have a job run time CoV of more than 86%".
+    pub const USER_RUNTIME_COV_P25: f64 = 86.0;
+    /// 75th percentile of run-time CoV, %.
+    pub const USER_RUNTIME_COV_P75: f64 = 227.0;
+    /// Median per-user CoV of SM utilization, %.
+    pub const USER_SM_COV_MEDIAN: f64 = 121.0;
+    /// Median per-user CoV of memory utilization, %.
+    pub const USER_MEM_COV_MEDIAN: f64 = 182.0;
+    /// Median per-user CoV of memory-size utilization, %.
+    pub const USER_MEM_SIZE_COV_MEDIAN: f64 = 99.0;
+}
+
+/// Fig. 13 / Sec. V — multi-GPU jobs.
+pub mod fig13 {
+    /// Fraction of jobs on a single GPU.
+    pub const SINGLE_GPU_FRACTION: f64 = 0.84;
+    /// Fraction of jobs on more than two GPUs.
+    pub const ABOVE_2_GPU_FRACTION: f64 = 0.024;
+    /// Fraction of jobs on nine or more GPUs (< 1%).
+    pub const NINE_PLUS_GPU_FRACTION: f64 = 0.01;
+    /// Share of all GPU hours consumed by multi-GPU jobs.
+    pub const MULTI_GPU_HOURS_SHARE: f64 = 0.50;
+    /// Fraction of users who ran at least one multi-GPU job.
+    pub const USERS_WITH_MULTI_GPU: f64 = 0.60;
+    /// Fraction of users who ran jobs with at least three GPUs.
+    pub const USERS_WITH_3_GPU: f64 = 0.13;
+    /// Fraction of users who ran jobs with nine or more GPUs.
+    pub const USERS_WITH_9_GPU: f64 = 0.052;
+    /// Median queue wait of single-GPU jobs, seconds.
+    pub const WAIT_1GPU_MEDIAN_S: f64 = 3.0;
+    /// Median queue wait of 2-GPU jobs, seconds.
+    pub const WAIT_2GPU_MEDIAN_S: f64 = 1.0;
+    /// Philly baseline: single-GPU job share (Jeon et al., reference 23 of the paper).
+    pub const PHILLY_SINGLE_GPU_FRACTION: f64 = 0.93;
+    /// Philly baseline: share of jobs above four GPUs.
+    pub const PHILLY_ABOVE_4_GPU_FRACTION: f64 = 0.025;
+}
+
+/// Fig. 14 — multi-GPU utilization balance.
+pub mod fig14 {
+    /// Fraction of multi-GPU jobs with very high cross-GPU CoV (driven
+    /// by half-or-more idle GPUs).
+    pub const HIGH_COV_FRACTION: f64 = 0.40;
+    /// Fraction of multi-GPU jobs with little to no cross-GPU
+    /// variability.
+    pub const LOW_COV_FRACTION: f64 = 0.50;
+}
+
+/// Fig. 15 — lifecycle mix.
+pub mod fig15 {
+    /// Mature share of jobs.
+    pub const MATURE_JOB_SHARE: f64 = 0.60;
+    /// Exploratory share of jobs.
+    pub const EXPLORATORY_JOB_SHARE: f64 = 0.18;
+    /// Development share of jobs.
+    pub const DEVELOPMENT_JOB_SHARE: f64 = 0.19;
+    /// IDE share of jobs.
+    pub const IDE_JOB_SHARE: f64 = 0.035;
+    /// Mature share of GPU hours.
+    pub const MATURE_HOURS_SHARE: f64 = 0.39;
+    /// Exploratory share of GPU hours.
+    pub const EXPLORATORY_HOURS_SHARE: f64 = 0.34;
+    /// Development + IDE share of GPU hours.
+    pub const DEV_IDE_HOURS_SHARE: f64 = 0.27;
+    /// IDE share of GPU hours (3.5% of jobs consume 18%).
+    pub const IDE_HOURS_SHARE: f64 = 0.18;
+    /// Median mature-job run time, minutes.
+    pub const MATURE_RUNTIME_MEDIAN_MIN: f64 = 36.0;
+    /// Median exploratory-job run time, minutes.
+    pub const EXPLORATORY_RUNTIME_MEDIAN_MIN: f64 = 62.0;
+}
+
+/// Fig. 16 — utilization by lifecycle class.
+pub mod fig16 {
+    /// Median SM utilization of mature jobs, %.
+    pub const MATURE_SM_MEDIAN: f64 = 21.0;
+    /// Median SM utilization of exploratory jobs, %.
+    pub const EXPLORATORY_SM_MEDIAN: f64 = 15.0;
+    /// Median SM utilization of development jobs, %.
+    pub const DEVELOPMENT_SM_MEDIAN: f64 = 0.0;
+    /// Median SM utilization of IDE jobs, %.
+    pub const IDE_SM_MEDIAN: f64 = 0.0;
+    /// p75 SM utilization of IDE jobs, % ("even the 75th percentile SM
+    /// utilization of IDE jobs is 0%").
+    pub const IDE_SM_P75: f64 = 0.0;
+}
+
+/// Fig. 17 — per-user lifecycle structure.
+pub mod fig17 {
+    /// Fraction of users whose mature-job share is below 40%.
+    pub const USERS_MATURE_BELOW_40PCT: f64 = 0.50;
+    /// Fraction of users for whom non-mature jobs consume over 60% of
+    /// their GPU hours.
+    pub const USERS_NONMATURE_HOURS_ABOVE_60PCT: f64 = 0.25;
+}
+
+/// Sec. II — operations.
+pub mod operations {
+    /// Hardware reliability: job failures attributable to hardware.
+    pub const HARDWARE_FAILURE_FRACTION: f64 = 0.005;
+}

@@ -1,0 +1,294 @@
+//! The end-to-end analysis pipeline: one call from a simulation output
+//! to every figure of the paper.
+
+use crate::figures::*;
+use crate::report::{markdown_table, Comparison};
+use crate::userstats::{user_stats, UserStats};
+use crate::view::gpu_views;
+use sc_cluster::{ClusterSpec, SimOutput};
+use sc_telemetry::dataset::DatasetFunnel;
+
+/// Every figure of the paper, computed from one simulation run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Table I rows.
+    pub table1: Vec<(String, String)>,
+    /// Dataset funnel (Sec. II).
+    pub funnel: DatasetFunnel,
+    /// Fig. 3 — run times and queue waits.
+    pub fig3: Fig3,
+    /// Fig. 4 — utilization CDFs.
+    pub fig4: Fig4,
+    /// Fig. 5 — utilization by interface.
+    pub fig5: Fig5,
+    /// Fig. 6 — active/idle phases.
+    pub fig6: Fig6,
+    /// Fig. 7 — variability and bottleneck radar.
+    pub fig7: Fig7,
+    /// Fig. 8 — bottleneck combinations.
+    pub fig8: Fig8,
+    /// Fig. 9 — power.
+    pub fig9: Fig9,
+    /// Fig. 10 — per-user averages.
+    pub fig10: Fig10,
+    /// Fig. 11 — per-user variability.
+    pub fig11: Fig11,
+    /// Fig. 12 — activity correlations.
+    pub fig12: Fig12,
+    /// Fig. 13 — multi-GPU sizes.
+    pub fig13: Fig13,
+    /// Fig. 14 — cross-GPU balance.
+    pub fig14: Fig14,
+    /// Fig. 15 — lifecycle mix.
+    pub fig15: Fig15,
+    /// Fig. 16 — utilization by class.
+    pub fig16: Fig16,
+    /// Fig. 17 — per-user lifecycle structure.
+    pub fig17: Fig17,
+    /// The per-user statistics the user-level figures were computed
+    /// from.
+    pub users: Vec<UserStats>,
+}
+
+impl AnalysisReport {
+    /// Computes every figure from a simulation output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output lacks the populations a figure needs (e.g.
+    /// no multi-GPU jobs, no detailed subset) — run a large enough
+    /// trace.
+    pub fn from_sim(out: &SimOutput) -> Self {
+        let views = gpu_views(&out.dataset);
+        let users = user_stats(&views);
+        AnalysisReport {
+            table1: ClusterSpec::supercloud().table1(),
+            funnel: out.dataset.funnel(),
+            fig3: Fig3::compute(&out.dataset),
+            fig4: Fig4::compute(&views),
+            fig5: Fig5::compute(&views),
+            fig6: Fig6::compute(&out.detailed),
+            fig7: Fig7::compute(&out.detailed, &views),
+            fig8: Fig8::compute(&views),
+            fig9: Fig9::compute(&views),
+            fig10: Fig10::compute(&users),
+            fig11: Fig11::compute(&users),
+            fig12: Fig12::compute(&users),
+            fig13: Fig13::compute(&views, &users),
+            fig14: Fig14::compute(&views),
+            fig15: Fig15::compute(&views),
+            fig16: Fig16::compute(&views),
+            fig17: Fig17::compute(&users),
+            users,
+        }
+    }
+
+    /// All paper-vs-measured comparisons, grouped by figure.
+    pub fn all_comparisons(&self) -> Vec<(&'static str, Vec<Comparison>)> {
+        vec![
+            ("Fig. 3 — run times and queue waits", self.fig3.comparisons()),
+            ("Fig. 4 — GPU resource utilization", self.fig4.comparisons()),
+            ("Fig. 5 — job-type mix", self.fig5.comparisons()),
+            ("Fig. 6 — active/idle phases", self.fig6.comparisons()),
+            ("Fig. 7 — variability and bottlenecks", self.fig7.comparisons()),
+            ("Fig. 8 — bottleneck combinations", self.fig8.comparisons()),
+            ("Fig. 9 — power and power capping", self.fig9.comparisons()),
+            ("Fig. 10 — per-user averages", self.fig10.comparisons()),
+            ("Fig. 11 — per-user variability", self.fig11.comparisons()),
+            ("Fig. 12 — expert-user correlations", self.fig12.comparisons()),
+            ("Fig. 13 — multi-GPU jobs", self.fig13.comparisons()),
+            ("Fig. 14 — cross-GPU balance", self.fig14.comparisons()),
+            ("Fig. 15 — lifecycle mix", self.fig15.comparisons()),
+            ("Fig. 16 — utilization by class", self.fig16.comparisons()),
+            ("Fig. 17 — per-user lifecycle structure", self.fig17.comparisons()),
+        ]
+    }
+
+    /// Renders every figure's series as plain text (what the repro
+    /// harness prints).
+    pub fn render_text(&self) -> String {
+        let mut s = String::from("Table I — system specification:\n");
+        for (k, v) in &self.table1 {
+            s.push_str(&format!("  {k}: {v}\n"));
+        }
+        s.push_str(&format!(
+            "Dataset funnel: {} total jobs, {} CPU jobs, {} GPU jobs analyzed ({} filtered \
+             <30 s), {} users\n\n",
+            self.funnel.total_jobs,
+            self.funnel.cpu_jobs,
+            self.funnel.gpu_jobs,
+            self.funnel.gpu_jobs_filtered_out,
+            self.funnel.unique_users
+        ));
+        for part in [
+            self.fig3.render(),
+            self.fig4.render(),
+            self.fig5.render(),
+            self.fig6.render(),
+            self.fig7.render(),
+            self.fig8.render(),
+            self.fig9.render(),
+            self.fig10.render(),
+            self.fig11.render(),
+            self.fig12.render(),
+            self.fig13.render(),
+            self.fig14.render(),
+            self.fig15.render(),
+            self.fig16.render(),
+            self.fig17.render(),
+        ] {
+            s.push_str(&part);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders the paper-vs-measured comparison as Markdown (the body
+    /// of `EXPERIMENTS.md`).
+    pub fn experiments_markdown(&self) -> String {
+        let mut s = String::from(
+            "# EXPERIMENTS — paper vs. measured\n\n\
+             Every table and figure of the HPCA 2022 Supercloud characterization,\n\
+             regenerated from the synthetic reproduction. Absolute agreement is not\n\
+             expected (the substrate is a calibrated simulator, not the production\n\
+             cluster); the *shape* — orderings, who dominates, where the mass sits —\n\
+             is the reproduction target. Ratios near 1.00× indicate close agreement.\n\n",
+        );
+        s.push_str(&format!(
+            "## Table I / dataset funnel\n\n\
+             | Metric | Paper | Measured |\n|---|---|---|\n\
+             | total jobs | 74820 | {} |\n\
+             | analyzed GPU jobs | 47120 | {} |\n\
+             | unique users | 191 | {} |\n\
+             | detailed-series jobs | 2149 | {} |\n\n",
+            self.funnel.total_jobs,
+            self.funnel.gpu_jobs,
+            self.funnel.unique_users,
+            "(see harness output)"
+        ));
+        for (title, rows) in self.all_comparisons() {
+            s.push_str(&markdown_table(title, &rows));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The figures computable from a joined dataset alone — what a consumer
+/// of the *published* dataset (the paper's dcc.mit.edu release, our
+/// [`sc_telemetry::Dataset::to_json`] export) can regenerate without the
+/// 100 ms time-series subset (Figs. 6–7 need that subset and are
+/// excluded here).
+#[derive(Debug, Clone)]
+pub struct DatasetReport {
+    /// Fig. 3 — run times and queue waits.
+    pub fig3: Fig3,
+    /// Fig. 4 — utilization CDFs.
+    pub fig4: Fig4,
+    /// Fig. 5 — utilization by interface.
+    pub fig5: Fig5,
+    /// Fig. 8 — bottleneck combinations (from max aggregates).
+    pub fig8: Fig8,
+    /// Fig. 9 — power.
+    pub fig9: Fig9,
+    /// Fig. 10 — per-user averages.
+    pub fig10: Fig10,
+    /// Fig. 11 — per-user variability.
+    pub fig11: Fig11,
+    /// Fig. 12 — activity correlations.
+    pub fig12: Fig12,
+    /// Fig. 13 — multi-GPU sizes.
+    pub fig13: Fig13,
+    /// Fig. 14 — cross-GPU balance.
+    pub fig14: Fig14,
+    /// Fig. 15 — lifecycle mix.
+    pub fig15: Fig15,
+    /// Fig. 16 — utilization by class.
+    pub fig16: Fig16,
+    /// Fig. 17 — per-user lifecycle structure.
+    pub fig17: Fig17,
+}
+
+impl DatasetReport {
+    /// Computes every dataset-only figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset lacks a population some figure needs
+    /// (e.g. no multi-GPU jobs).
+    pub fn from_dataset(dataset: &sc_telemetry::Dataset) -> Self {
+        let views = gpu_views(dataset);
+        let users = user_stats(&views);
+        DatasetReport {
+            fig3: Fig3::compute(dataset),
+            fig4: Fig4::compute(&views),
+            fig5: Fig5::compute(&views),
+            fig8: Fig8::compute(&views),
+            fig9: Fig9::compute(&views),
+            fig10: Fig10::compute(&users),
+            fig11: Fig11::compute(&users),
+            fig12: Fig12::compute(&users),
+            fig13: Fig13::compute(&views, &users),
+            fig14: Fig14::compute(&views),
+            fig15: Fig15::compute(&views),
+            fig16: Fig16::compute(&views),
+            fig17: Fig17::compute(&users),
+        }
+    }
+
+    /// Renders every figure's series as text.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for part in [
+            self.fig3.render(),
+            self.fig4.render(),
+            self.fig5.render(),
+            self.fig8.render(),
+            self.fig9.render(),
+            self.fig10.render(),
+            self.fig11.render(),
+            self.fig12.render(),
+            self.fig13.render(),
+            self.fig14.render(),
+            self.fig15.render(),
+            self.fig16.render(),
+            self.fig17.render(),
+        ] {
+            s.push_str(&part);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::small_sim;
+
+    #[test]
+    fn dataset_report_roundtrips_through_json() {
+        // The "published dataset" workflow: export the joined dataset,
+        // reload it, and regenerate the dataset-only figures.
+        let json = small_sim().dataset.to_json().expect("serializable");
+        let dataset = sc_telemetry::Dataset::from_json(&json).expect("parseable");
+        let report = DatasetReport::from_dataset(&dataset);
+        let direct = DatasetReport::from_dataset(&small_sim().dataset);
+        assert_eq!(report.fig4.sm.median(), direct.fig4.sm.median());
+        assert!(report.render_text().contains("Fig. 15"));
+    }
+
+    #[test]
+    fn full_pipeline_runs_on_small_trace() {
+        let report = AnalysisReport::from_sim(small_sim());
+        assert!(!report.users.is_empty());
+        assert_eq!(report.all_comparisons().len(), 15);
+        let text = report.render_text();
+        for marker in ["Table I", "Fig. 3(a)", "Fig. 9(b)", "Fig. 17(b)"] {
+            assert!(text.contains(marker), "missing {marker}");
+        }
+        let md = report.experiments_markdown();
+        assert!(md.contains("# EXPERIMENTS"));
+        assert!(md.contains("| Metric | Paper | Measured | Ratio |"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's opportunity studies, quantified on the simulated
+//! Supercloud workload.
+//!
+//! Secs. III, VI, and VIII of the paper identify four system-design
+//! opportunities opened by the characterization. Each module here turns
+//! one of them into a measurable experiment over the same job
+//! population the figures are computed from:
+//!
+//! - [`powercap`]: power capping + over-provisioning ("power-capping
+//!   can be a promising method to conserve power and/or improve
+//!   throughput").
+//! - [`colocation`]: GPU sharing policies with a phase-level
+//!   interference simulator ("the opportunity to share non-contending
+//!   GPU resources among concurrent jobs").
+//! - [`tiering`]: multi-tier GPU cluster economics ("it might be more
+//!   cost-effective to mix [fast GPUs] with some less-expensive,
+//!   less-powerful … GPUs for exploratory and IDE jobs").
+//! - [`checkpoint`]: Young-interval checkpoint/restart for the
+//!   failure/timeout population ("a growing need for … low-overhead
+//!   checkpoint/restart mechanisms").
+//!
+//! [`OpportunityReport::run`] executes all four with the paper-guided
+//! default parameters.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod colocation;
+pub mod mig;
+pub mod powercap;
+pub mod prediction;
+pub mod tiering;
+
+pub use colocation::{Candidate, ColocationResult, PairingPolicy};
+pub use powercap::{CapOutcome, OverProvisionStudy};
+pub use tiering::{RoutingPolicy, Tier, TierOutcome};
+
+use sc_core::GpuJobView;
+
+/// All four opportunity studies over one job population.
+#[derive(Debug, Clone)]
+pub struct OpportunityReport {
+    /// Power-cap sweep (Fig. 9b extension).
+    pub powercap: OverProvisionStudy,
+    /// Co-location policy comparison.
+    pub colocation: Vec<ColocationResult>,
+    /// Two-tier economics.
+    pub tiering: Vec<TierOutcome>,
+    /// The slow tier evaluated.
+    pub slow_tier: Tier,
+    /// Checkpoint-interval sweep.
+    pub checkpoint: Vec<checkpoint::CheckpointStudy>,
+    /// MIG slice-packing study.
+    pub mig: mig::MigStudy,
+    /// MIG configuration evaluated.
+    pub mig_config: mig::MigConfig,
+    /// User-behaviour prediction baselines.
+    pub prediction: prediction::PredictionStudy,
+}
+
+impl OpportunityReport {
+    /// Runs every study with the default, paper-guided parameters.
+    ///
+    /// `colocation_sample` bounds how many single-GPU jobs feed the
+    /// pairing simulator (it integrates phase processes pairwise); jobs
+    /// are taken in id order for determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty.
+    pub fn run(views: &[GpuJobView<'_>], colocation_sample: usize) -> Self {
+        assert!(!views.is_empty(), "need jobs");
+        let caps = [100.0, 150.0, 200.0, 250.0, 300.0];
+        let powercap = OverProvisionStudy::run(views, &caps, 448.0 * 300.0, 300.0, 20.0);
+
+        // Co-location candidates: each sampled single-GPU job is given a
+        // synthetic phase process matching its *observed* mean levels and
+        // SM duty cycle — the policy only ever sees what telemetry saw.
+        let mut candidates = Vec::new();
+        for (i, v) in views.iter().filter(|v| v.per_gpu.len() == 1).enumerate() {
+            if candidates.len() >= colocation_sample {
+                break;
+            }
+            let duration = v.sched.run_time().clamp(120.0, 14_400.0);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i as u64);
+            let active = if v.agg.sm_util.max > 0.0 {
+                (v.agg.sm_util.mean / v.agg.sm_util.max).clamp(0.02, 0.98)
+            } else {
+                0.02
+            };
+            let truth = sc_workload::truth::generate_gpu_truth(
+                &mut rng,
+                &sc_workload::TruthParams {
+                    duration: duration * 1.1 + 60.0,
+                    active_fraction: active,
+                    mean_levels: sc_workload::ResourceLevels {
+                        sm: v.agg.sm_util.mean,
+                        mem: v.agg.mem_util.mean,
+                        mem_size: v.agg.mem_size_util.mean,
+                        pcie_tx: v.agg.pcie_tx.mean,
+                        pcie_rx: v.agg.pcie_rx.mean,
+                    },
+                    ..Default::default()
+                },
+            );
+            candidates.push(Candidate { truth, duration, mean_sm: v.agg.sm_util.mean });
+        }
+        let colocation = PairingPolicy::ALL
+            .iter()
+            .map(|&p| colocation::evaluate_policy(&candidates, p))
+            .collect();
+
+        let slow_tier = Tier { speed: 0.5, cost: 0.35 };
+        let tiering = tiering::evaluate(views, slow_tier);
+
+        let checkpoint =
+            checkpoint::sweep(views, &[300.0, 900.0, 1_800.0, 3_600.0, 7_200.0], 30.0);
+
+        let mig_config = mig::MigConfig::default();
+        let mig = mig::evaluate(views, mig_config);
+        let prediction = prediction::evaluate(views);
+
+        OpportunityReport {
+            powercap,
+            colocation,
+            tiering,
+            slow_tier,
+            checkpoint,
+            mig,
+            mig_config,
+            prediction,
+        }
+    }
+
+    /// Renders every study as text.
+    pub fn render(&self) -> String {
+        let mut s = String::from("================ opportunity studies ================\n\n");
+        s.push_str(&self.powercap.render());
+        s.push('\n');
+        s.push_str(
+            "Co-location policies (single-GPU sample):\n  policy              pairs  mean-slowdown  p95-slowdown  rel-throughput\n",
+        );
+        for r in &self.colocation {
+            s.push_str(&format!(
+                "  {:<18} {:>5}  {:>13.3}  {:>12.3}  {:>13.3}\n",
+                format!("{:?}", r.policy),
+                r.pairs,
+                r.mean_slowdown,
+                r.p95_slowdown,
+                r.relative_throughput
+            ));
+        }
+        s.push('\n');
+        s.push_str(&tiering::render(&self.tiering, self.slow_tier));
+        s.push('\n');
+        s.push_str(&checkpoint::render(&self.checkpoint));
+        s.push('\n');
+        s.push_str(&mig::render(&self.mig, self.mig_config));
+        s.push('\n');
+        s.push_str(&prediction::render(&self.prediction));
+        s
+    }
+}
+
+impl PairingPolicy {
+    /// All policies in presentation order.
+    pub const ALL: [PairingPolicy; 4] = [
+        PairingPolicy::Exclusive,
+        PairingPolicy::Fifo,
+        PairingPolicy::UtilizationAware,
+        PairingPolicy::TimeSharing,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_cluster::{SimConfig, SimOutput, Simulation};
+    use sc_workload::{Trace, WorkloadSpec};
+    use std::sync::OnceLock;
+
+    static SIM: OnceLock<SimOutput> = OnceLock::new();
+
+    fn sim() -> &'static SimOutput {
+        SIM.get_or_init(|| {
+            let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+            spec.users = 48;
+            let trace = Trace::generate(&spec, 7_070);
+            Simulation::new(SimConfig { detailed_series_jobs: 40, ..Default::default() })
+                .run(&trace)
+        })
+    }
+
+    #[test]
+    fn full_report_runs_and_renders() {
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 40);
+        let text = report.render();
+        assert!(text.contains("Over-provisioning"));
+        assert!(text.contains("Co-location"));
+        assert!(text.contains("Two-tier"));
+        assert!(text.contains("Checkpoint"));
+        assert_eq!(report.colocation.len(), 4);
+        assert_eq!(report.tiering.len(), 3);
+    }
+
+    #[test]
+    fn power_cap_throughput_peaks_below_tdp() {
+        // The paper's takeaway: most jobs draw far below TDP, so a cap
+        // plus over-provisioning raises throughput. The best cap must
+        // not be the uncapped 300 W point.
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 10);
+        let best = report.powercap.best();
+        assert!(best.cap_w < 300.0, "best cap {}", best.cap_w);
+        assert!(best.relative_throughput > 1.2, "throughput {}", best.relative_throughput);
+    }
+
+    #[test]
+    fn demoting_non_mature_jobs_cuts_cost_without_touching_mature() {
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 10);
+        let demote = report
+            .tiering
+            .iter()
+            .find(|o| o.policy == RoutingPolicy::DemoteNonMature)
+            .expect("policy present");
+        assert!(demote.relative_cost < 1.0, "cost {}", demote.relative_cost);
+        assert_eq!(demote.mature_mean_slowdown, 1.0);
+        assert!(demote.capacity_gain > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_saves_lost_hours_at_sane_intervals() {
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 10);
+        // At a 30-minute interval the saving must be strongly positive
+        // (IDE jobs alone lose 12-24 h of state each).
+        let st = report.checkpoint.iter().find(|s| s.interval_secs == 1_800.0).unwrap();
+        assert!(st.saving_fraction > 0.5, "saving {}", st.saving_fraction);
+        assert!(st.victims > 0);
+    }
+
+    #[test]
+    fn mig_packing_multiplies_capacity() {
+        // With median peak SM ~60-100% but many near-idle dev/IDE jobs,
+        // 7-slice packing must fit the same resident set on fewer GPUs.
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 10);
+        assert!(report.mig.packing_ratio > 1.1, "ratio {}", report.mig.packing_ratio);
+        assert!(report.mig.gpus_packed < report.mig.gpus_exclusive);
+        let total: usize = report.mig.demand_histogram.iter().sum();
+        assert_eq!(total, report.mig.gpus_exclusive);
+    }
+
+    #[test]
+    fn user_history_barely_beats_global_statistics() {
+        // The paper's Sec. IV point: within-user CoV ~155% makes
+        // per-user history a weak predictor. The user-mean estimator
+        // must not dominate the global median (within 2× hit-rate gap
+        // under 25 points).
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 10);
+        let get = |p: prediction::Predictor| {
+            report
+                .prediction
+                .runtime
+                .iter()
+                .find(|s| s.predictor == p)
+                .expect("scored")
+                .within_2x
+        };
+        let user = get(prediction::Predictor::UserMean);
+        let global = get(prediction::Predictor::GlobalMedian);
+        assert!(
+            user - global < 0.25,
+            "user-mean {user} vs global-median {global}: history too informative"
+        );
+        // And nothing is actually *good*: median APE stays large.
+        let ape = report
+            .prediction
+            .runtime
+            .iter()
+            .map(|s| s.median_ape)
+            .fold(f64::INFINITY, f64::min);
+        assert!(ape > 0.3, "best median APE {ape} — predictability too high");
+    }
+
+    #[test]
+    fn colocation_throughput_exceeds_exclusive() {
+        let views = sc_core::gpu_views(&sim().dataset);
+        let report = OpportunityReport::run(&views, 40);
+        let aware = report
+            .colocation
+            .iter()
+            .find(|r| r.policy == PairingPolicy::UtilizationAware)
+            .expect("policy present");
+        assert!(
+            aware.relative_throughput > 1.0,
+            "throughput {}",
+            aware.relative_throughput
+        );
+    }
+}

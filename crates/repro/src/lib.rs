@@ -1,0 +1,35 @@
+//! Umbrella crate for `supercloud-lab`.
+//!
+//! Re-exports the whole workspace under one name and hosts the
+//! repository-level `examples/` and `tests/` targets (see the
+//! `[[example]]`/`[[test]]` tables in this crate's `Cargo.toml`).
+//!
+//! # Example
+//!
+//! ```
+//! use sc_repro::prelude::*;
+//!
+//! let spec = WorkloadSpec::supercloud().scaled(0.002);
+//! let trace = Trace::generate(&spec, 1);
+//! let out = Simulation::supercloud().run(&trace);
+//! assert!(out.dataset.funnel().gpu_jobs > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sc_cluster as cluster;
+pub use sc_core as core;
+pub use sc_opportunity as opportunity;
+pub use sc_stats as stats;
+pub use sc_telemetry as telemetry;
+pub use sc_workload as workload;
+
+/// One-line imports for examples and integration tests.
+pub mod prelude {
+    pub use sc_cluster::{ClusterSpec, SimConfig, SimOutput, Simulation};
+    pub use sc_core::{classify_record, gpu_views, user_stats, AnalysisReport};
+    pub use sc_opportunity::OpportunityReport;
+    pub use sc_stats::{BoxStats, Ecdf, Lorenz};
+    pub use sc_telemetry::{Dataset, ExitStatus, SubmissionInterface};
+    pub use sc_workload::{LifecycleClass, Trace, WorkloadSpec};
+}

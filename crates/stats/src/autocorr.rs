@@ -1,0 +1,148 @@
+//! Autocorrelation and smoothing for sampled utilization series.
+//!
+//! Used to validate the phase process: a series that alternates between
+//! active and idle phases of mean length `L` has an autocorrelation
+//! that stays high for lags ≪ `L` and decays past it — unlike white
+//! noise, which decorrelates immediately. The monitoring-period
+//! analyses lean on this structure.
+
+use crate::error::{ensure_sample, StatsError};
+
+/// Sample autocorrelation at one lag (biased estimator, as in
+/// `statsmodels.tsa.acf`).
+///
+/// A constant series has no variance to correlate; by convention lag-0
+/// returns 1 and other lags return 0 for it.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `lag >= len`.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Result<f64, StatsError> {
+    ensure_sample(series)?;
+    if lag >= series.len() {
+        return Err(StatsError::InsufficientData { needed: lag + 1, got: series.len() });
+    }
+    if lag == 0 {
+        return Ok(1.0);
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var == 0.0 {
+        return Ok(0.0);
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    Ok(cov / var)
+}
+
+/// The full autocorrelation function for lags `0..=max_lag`.
+///
+/// # Errors
+///
+/// Same conditions as [`autocorrelation`].
+pub fn acf(series: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    (0..=max_lag).map(|l| autocorrelation(series, l)).collect()
+}
+
+/// Centered moving average with a window of `2k + 1` samples (window
+/// truncated at the edges).
+///
+/// # Errors
+///
+/// Returns the usual sample-validity errors.
+pub fn moving_average(series: &[f64], k: usize) -> Result<Vec<f64>, StatsError> {
+    ensure_sample(series)?;
+    let n = series.len();
+    Ok((0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(k);
+            let hi = (i + k + 1).min(n);
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect())
+}
+
+/// The decorrelation lag: the first lag at which the ACF drops below
+/// `threshold` (e.g. `1/e`), or `None` if it never does within
+/// `max_lag`. For an alternating phase process this estimates the mean
+/// phase length in samples.
+///
+/// # Errors
+///
+/// Same conditions as [`autocorrelation`].
+pub fn decorrelation_lag(
+    series: &[f64],
+    threshold: f64,
+    max_lag: usize,
+) -> Result<Option<usize>, StatsError> {
+    for lag in 1..=max_lag.min(series.len().saturating_sub(1)) {
+        if autocorrelation(series, lag)? < threshold {
+            return Ok(Some(lag));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = autocorrelation(&s, 1).unwrap();
+        assert!(r < -0.9, "lag-1 acf {r}");
+        let r2 = autocorrelation(&s, 2).unwrap();
+        assert!(r2 > 0.9, "lag-2 acf {r2}");
+    }
+
+    #[test]
+    fn square_wave_decorrelates_near_half_period() {
+        // Period 40 (20 high, 20 low): ACF crosses 1/e before lag 20.
+        let s: Vec<f64> =
+            (0..2000).map(|i| if (i / 20) % 2 == 0 { 80.0 } else { 0.0 }).collect();
+        let lag = decorrelation_lag(&s, 1.0 / std::f64::consts::E, 100).unwrap().unwrap();
+        assert!((5..=20).contains(&lag), "decorrelation lag {lag}");
+    }
+
+    #[test]
+    fn constant_series_is_conventionally_uncorrelated() {
+        assert_eq!(autocorrelation(&[5.0; 50], 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn acf_returns_all_lags() {
+        let s: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let a = acf(&s, 10).unwrap();
+        assert_eq!(a.len(), 11);
+        assert_eq!(a[0], 1.0);
+        for v in &a {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(v));
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let s = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let m = moving_average(&s, 1).unwrap();
+        assert_eq!(m.len(), s.len());
+        // Interior points average to ~(0+10+0)/3 or similar.
+        for v in &m[1..5] {
+            assert!((3.0..=7.0).contains(v), "smoothed {v}");
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(autocorrelation(&[], 0).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_err());
+        assert!(moving_average(&[], 1).is_err());
+    }
+}

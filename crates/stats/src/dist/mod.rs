@@ -1,0 +1,133 @@
+//! Parametric distributions implemented from scratch on top of `rand`'s
+//! uniform source.
+//!
+//! The paper's population statistics (lognormal-looking run times, Pareto
+//! user activity, beta-shaped utilizations) drive the calibrated workload
+//! generator. Rather than pulling in `rand_distr`, the samplers here are
+//! implemented directly — they are part of the substrate this
+//! reproduction must provide, and each carries unit tests against known
+//! moments.
+//!
+//! All samplers implement [`Sample`], taking any [`rand::Rng`] so the
+//! whole pipeline stays deterministic under a seeded
+//! [`rand::rngs::StdRng`].
+
+mod beta;
+mod categorical;
+mod exponential;
+mod lognormal;
+mod normal;
+mod pareto;
+
+pub use beta::{Beta, Gamma};
+pub use categorical::{Categorical, EmpiricalDiscrete};
+pub use exponential::Exponential;
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use pareto::Pareto;
+
+use rand::Rng;
+
+/// A distribution from which `f64` observations can be drawn.
+///
+/// Implemented by every continuous sampler in this module. Use
+/// [`Sample::sample_n`] to draw a vector in one call.
+pub trait Sample {
+    /// Draws one observation.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` observations into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Standard normal quantile function (inverse CDF), Acklam's rational
+/// approximation (|error| < 1.15e-9). Used to solve lognormal parameters
+/// from reported percentiles.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_reference_values() {
+        assert!(standard_normal_quantile(0.5).abs() < 1e-9);
+        // Phi^-1(0.975) = 1.959963984540054
+        assert!((standard_normal_quantile(0.975) - 1.959963984540054).abs() < 1e-7);
+        assert!((standard_normal_quantile(0.025) + 1.959963984540054).abs() < 1e-7);
+        // Phi^-1(0.75) = 0.6744897501960817 (the quartile constant used in
+        // lognormal calibration).
+        assert!((standard_normal_quantile(0.75) - 0.6744897501960817).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        for &p in &[0.01, 0.1, 0.3, 0.49] {
+            let lo = standard_normal_quantile(p);
+            let hi = standard_normal_quantile(1.0 - p);
+            assert!((lo + hi).abs() < 1e-7, "asymmetry at p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn normal_quantile_rejects_endpoint() {
+        let _ = standard_normal_quantile(1.0);
+    }
+}

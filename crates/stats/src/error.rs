@@ -1,0 +1,125 @@
+//! Error types shared across the statistics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by statistics constructors and estimators.
+///
+/// Every fallible public function in this crate returns `Result<_, StatsError>`
+/// so that callers can distinguish "empty input" from "ill-conditioned input"
+/// without panicking inside analysis pipelines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty but at least one observation is required.
+    EmptyInput,
+    /// The input contained a NaN or infinite value at the given index.
+    NonFinite {
+        /// Position of the first offending value.
+        index: usize,
+    },
+    /// Two paired samples had different lengths.
+    LengthMismatch {
+        /// Length of the first sample.
+        left: usize,
+        /// Length of the second sample.
+        right: usize,
+    },
+    /// A probability-like argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter, e.g. `"sigma"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested statistic needs more observations than were provided.
+    InsufficientData {
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input sample was empty"),
+            StatsError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired samples differ in length: {left} vs {right}")
+            }
+            StatsError::InvalidProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that every value in `data` is finite.
+///
+/// Returns the first offending index as [`StatsError::NonFinite`].
+pub(crate) fn ensure_finite(data: &[f64]) -> Result<(), StatsError> {
+    match data.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(StatsError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
+
+/// Validates that `data` is non-empty and finite.
+pub(crate) fn ensure_sample(data: &[f64]) -> Result<(), StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    ensure_finite(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            StatsError::EmptyInput.to_string(),
+            StatsError::NonFinite { index: 3 }.to_string(),
+            StatsError::LengthMismatch { left: 1, right: 2 }.to_string(),
+            StatsError::InvalidProbability { value: 1.5 }.to_string(),
+            StatsError::InvalidParameter { name: "sigma", value: -1.0 }.to_string(),
+            StatsError::InsufficientData { needed: 2, got: 0 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message ends with period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "message not lowercase: {m}");
+        }
+    }
+
+    #[test]
+    fn ensure_sample_rejects_empty_and_nan() {
+        assert_eq!(ensure_sample(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(
+            ensure_sample(&[1.0, f64::NAN]),
+            Err(StatsError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            ensure_sample(&[f64::INFINITY]),
+            Err(StatsError::NonFinite { index: 0 })
+        );
+        assert!(ensure_sample(&[0.0, -1.0, 2.5]).is_ok());
+    }
+}

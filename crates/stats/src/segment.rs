@@ -1,0 +1,289 @@
+//! Run-length segmentation of sampled time series into active and idle
+//! intervals.
+//!
+//! Sec. III of the paper: "the GPU jobs have 'active phases' and 'idle
+//! phases.' GPU resources are used during the active phases and they
+//! remain unused during the idle phases". Fig. 6 reports (a) the
+//! fraction of run time spent active and (b) the CoV of idle/active
+//! interval lengths. This module recovers those intervals from a sampled
+//! utilization series.
+
+use crate::descriptive::coefficient_of_variation;
+use crate::error::{ensure_sample, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Whether an interval is active (utilization above threshold) or idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntervalKind {
+    /// GPU resources in use.
+    Active,
+    /// GPU unused (only host CPUs busy).
+    Idle,
+}
+
+/// A maximal run of consecutive samples of one kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Active or idle.
+    pub kind: IntervalKind,
+    /// Index of the first sample in the run.
+    pub start: usize,
+    /// Number of samples in the run.
+    pub len: usize,
+}
+
+impl Interval {
+    /// Duration in seconds given the sampling period.
+    pub fn duration_secs(&self, sample_period_secs: f64) -> f64 {
+        self.len as f64 * sample_period_secs
+    }
+}
+
+/// The result of segmenting one job's utilization series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segmentation {
+    intervals: Vec<Interval>,
+    samples: usize,
+}
+
+impl Segmentation {
+    /// All intervals in order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Total number of samples that were segmented.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Fraction of samples spent in active intervals, in `[0, 1]`
+    /// (Fig. 6a's per-job statistic).
+    pub fn active_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let active: usize = self
+            .intervals
+            .iter()
+            .filter(|i| i.kind == IntervalKind::Active)
+            .map(|i| i.len)
+            .sum();
+        active as f64 / self.samples as f64
+    }
+
+    /// Lengths (in samples) of intervals of the given kind.
+    pub fn lengths_of(&self, kind: IntervalKind) -> Vec<f64> {
+        self.intervals
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(|i| i.len as f64)
+            .collect()
+    }
+
+    /// Coefficient of variation (percent) of interval lengths of one kind
+    /// (Fig. 6b's per-job statistic). Returns `None` when fewer than two
+    /// intervals of that kind exist — a CoV over a single interval is
+    /// meaningless and the paper's per-job CDF can only include jobs that
+    /// alternate at least twice.
+    pub fn interval_cov(&self, kind: IntervalKind) -> Option<f64> {
+        let lengths = self.lengths_of(kind);
+        if lengths.len() < 2 {
+            return None;
+        }
+        coefficient_of_variation(&lengths).ok()
+    }
+
+    /// Number of intervals of one kind.
+    pub fn count_of(&self, kind: IntervalKind) -> usize {
+        self.intervals.iter().filter(|i| i.kind == kind).count()
+    }
+}
+
+/// Segments a sampled utilization series into alternating active/idle
+/// intervals. A sample is active when its value is strictly greater than
+/// `threshold`. `min_run` suppresses flicker: runs shorter than `min_run`
+/// samples are merged into the surrounding interval (the paper's 100 ms
+/// sampling would otherwise turn single-sample dips into "idle phases").
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`]/[`StatsError::NonFinite`] for
+/// invalid series and [`StatsError::InvalidParameter`] for `min_run == 0`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sc_stats::StatsError> {
+/// use sc_stats::{segment_intervals, IntervalKind};
+///
+/// let sm = [0.0, 0.0, 80.0, 85.0, 90.0, 0.0, 0.0, 0.0];
+/// let seg = segment_intervals(&sm, 5.0, 1)?;
+/// assert_eq!(seg.intervals().len(), 3);
+/// assert_eq!(seg.active_fraction(), 3.0 / 8.0);
+/// assert_eq!(seg.count_of(IntervalKind::Idle), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn segment_intervals(
+    series: &[f64],
+    threshold: f64,
+    min_run: usize,
+) -> Result<Segmentation, StatsError> {
+    ensure_sample(series)?;
+    if min_run == 0 {
+        return Err(StatsError::InvalidParameter { name: "min_run", value: 0.0 });
+    }
+    // Pass 1: raw run-length encoding.
+    let mut raw: Vec<Interval> = Vec::new();
+    for (i, &v) in series.iter().enumerate() {
+        let kind = if v > threshold { IntervalKind::Active } else { IntervalKind::Idle };
+        match raw.last_mut() {
+            Some(last) if last.kind == kind => last.len += 1,
+            _ => raw.push(Interval { kind, start: i, len: 1 }),
+        }
+    }
+    // Pass 2: merge runs shorter than min_run into their neighbours,
+    // repeating until stable (merging can create new short runs).
+    let mut merged = raw;
+    loop {
+        if merged.len() <= 1 {
+            break;
+        }
+        // Find the shortest sub-min_run run (interior preference keeps
+        // endpoints stable).
+        let victim = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.len < min_run)
+            .min_by_key(|(_, iv)| iv.len)
+            .map(|(i, _)| i);
+        let Some(i) = victim else { break };
+        // Flip the victim's kind so it merges with neighbours.
+        let kind = match merged[i].kind {
+            IntervalKind::Active => IntervalKind::Idle,
+            IntervalKind::Idle => IntervalKind::Active,
+        };
+        merged[i].kind = kind;
+        // Re-coalesce adjacent same-kind runs.
+        let mut out: Vec<Interval> = Vec::with_capacity(merged.len());
+        for iv in merged {
+            match out.last_mut() {
+                Some(last) if last.kind == iv.kind => last.len += iv.len,
+                _ => out.push(iv),
+            }
+        }
+        merged = out;
+    }
+    Ok(Segmentation { intervals: merged, samples: series.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_idle_series() {
+        let seg = segment_intervals(&[0.0; 10], 5.0, 1).unwrap();
+        assert_eq!(seg.intervals().len(), 1);
+        assert_eq!(seg.active_fraction(), 0.0);
+        assert_eq!(seg.count_of(IntervalKind::Idle), 1);
+    }
+
+    #[test]
+    fn all_active_series() {
+        let seg = segment_intervals(&[50.0; 10], 5.0, 1).unwrap();
+        assert_eq!(seg.active_fraction(), 1.0);
+    }
+
+    #[test]
+    fn alternating_phases_counted() {
+        let s = [0.0, 0.0, 90.0, 90.0, 0.0, 0.0, 90.0, 90.0];
+        let seg = segment_intervals(&s, 5.0, 1).unwrap();
+        assert_eq!(seg.count_of(IntervalKind::Active), 2);
+        assert_eq!(seg.count_of(IntervalKind::Idle), 2);
+        assert_eq!(seg.active_fraction(), 0.5);
+    }
+
+    #[test]
+    fn min_run_suppresses_flicker() {
+        // One-sample dip inside a long active phase.
+        let s = [90.0, 90.0, 90.0, 0.0, 90.0, 90.0, 90.0];
+        let strict = segment_intervals(&s, 5.0, 1).unwrap();
+        assert_eq!(strict.intervals().len(), 3);
+        let smoothed = segment_intervals(&s, 5.0, 2).unwrap();
+        assert_eq!(smoothed.intervals().len(), 1);
+        assert_eq!(smoothed.active_fraction(), 1.0);
+    }
+
+    #[test]
+    fn interval_cov_requires_two_intervals() {
+        let seg = segment_intervals(&[90.0; 5], 5.0, 1).unwrap();
+        assert_eq!(seg.interval_cov(IntervalKind::Active), None);
+        let s = [90.0, 0.0, 90.0, 90.0, 0.0, 90.0, 90.0, 90.0];
+        let seg = segment_intervals(&s, 5.0, 1).unwrap();
+        // Active runs: 1, 2, 3 -> mean 2, sd sqrt(2/3).
+        let cov = seg.interval_cov(IntervalKind::Active).unwrap();
+        let expect = ((2.0f64 / 3.0).sqrt() / 2.0) * 100.0;
+        assert!((cov - expect).abs() < 1e-9, "cov={cov}");
+    }
+
+    #[test]
+    fn interval_durations() {
+        let iv = Interval { kind: IntervalKind::Active, start: 0, len: 10 };
+        assert_eq!(iv.duration_secs(0.1), 1.0);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(segment_intervals(&[], 5.0, 1).is_err());
+        assert!(segment_intervals(&[1.0], 5.0, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intervals_partition_series(
+            series in proptest::collection::vec(0.0..100.0f64, 1..300),
+            threshold in 0.0..100.0f64,
+            min_run in 1usize..5,
+        ) {
+            let seg = segment_intervals(&series, threshold, min_run).unwrap();
+            let total: usize = seg.intervals().iter().map(|i| i.len).sum();
+            prop_assert_eq!(total, series.len());
+            // Intervals alternate in kind and are contiguous.
+            let mut pos = 0;
+            for w in seg.intervals().windows(2) {
+                prop_assert!(w[0].kind != w[1].kind);
+            }
+            for iv in seg.intervals() {
+                prop_assert_eq!(iv.start, pos);
+                pos += iv.len;
+            }
+        }
+
+        #[test]
+        fn prop_active_fraction_bounded(
+            series in proptest::collection::vec(0.0..100.0f64, 1..300),
+            threshold in 0.0..100.0f64,
+        ) {
+            let seg = segment_intervals(&series, threshold, 1).unwrap();
+            let f = seg.active_fraction();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_no_short_interior_runs_after_smoothing(
+            series in proptest::collection::vec(0.0..100.0f64, 10..200),
+            min_run in 2usize..4,
+        ) {
+            let seg = segment_intervals(&series, 50.0, min_run).unwrap();
+            // After merging, only a single remaining interval may be short.
+            if seg.intervals().len() > 1 {
+                for iv in seg.intervals() {
+                    prop_assert!(iv.len >= min_run);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Prolog/epilog monitoring lifecycle and node-local buffering.
+//!
+//! "The Slurm prolog is used to start the collection of CPU-based time
+//! series data on every node assigned to a job … if the job requests one
+//! or more GPUs, the prolog also launches the nvidia-smi utility … Both
+//! time series are written to independent files on the local storage on
+//! each compute node as a way to avoid overloading the cluster-wide
+//! shared file system. … The epilog is also responsible for copying the
+//! collected data back to the central file system" (Sec. II).
+
+use crate::aggregate::GpuAggregates;
+use crate::record::{GpuJobRecord, JobId};
+use crate::sampler::{CpuSampler, GpuSampler, GpuTimeSeries};
+use crate::source::MetricSource;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Monitoring configuration applied by the prolog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct MonitorConfig {
+    /// GPU sampler (production default: 100 ms).
+    pub gpu_sampler: GpuSampler,
+    /// CPU sampler (production default: 10 s).
+    pub cpu_sampler: CpuSampler,
+    /// Whether to retain the full time series for this job (true only for
+    /// the detailed-logging subset — 2,149 jobs in the paper) rather than
+    /// just the streaming aggregates.
+    pub retain_series: bool,
+}
+
+
+/// What the epilog ships back to the central file system for one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectedJob {
+    /// Per-GPU aggregates (always present for GPU jobs).
+    pub aggregates: Vec<GpuAggregates>,
+    /// Full series, present only when the job was in the detailed subset.
+    pub series: Option<GpuTimeSeries>,
+}
+
+impl CollectedJob {
+    /// Converts to the GPU-side join record.
+    pub fn into_record(self, job_id: JobId) -> GpuJobRecord {
+        GpuJobRecord { job_id, per_gpu: self.aggregates }
+    }
+}
+
+/// The per-job monitor: prolog starts it, epilog finalizes it.
+///
+/// # Example
+///
+/// ```
+/// use sc_telemetry::{JobMonitor, MonitorConfig, JobId};
+/// use sc_telemetry::source::ConstantSource;
+/// use sc_telemetry::{CpuMetricSample, GpuMetricSample};
+///
+/// let src = ConstantSource {
+///     gpus: 2,
+///     gpu: GpuMetricSample { sm_util: 60.0, ..Default::default() },
+///     cpu: CpuMetricSample::default(),
+/// };
+/// let monitor = JobMonitor::prolog(JobId(1), MonitorConfig::default());
+/// let collected = monitor.epilog(&src, 10.0);
+/// assert_eq!(collected.aggregates.len(), 2);
+/// assert!(collected.series.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobMonitor {
+    job_id: JobId,
+    config: MonitorConfig,
+}
+
+impl JobMonitor {
+    /// Starts monitoring a job (the prolog hook).
+    pub fn prolog(job_id: JobId, config: MonitorConfig) -> Self {
+        JobMonitor { job_id, config }
+    }
+
+    /// The monitored job.
+    pub fn job_id(&self) -> JobId {
+        self.job_id
+    }
+
+    /// Stops monitoring at job end and produces the collected data
+    /// (the epilog hook). `duration_secs` is the job's run time.
+    pub fn epilog<S: MetricSource + ?Sized>(&self, source: &S, duration_secs: f64) -> CollectedJob {
+        if self.config.retain_series {
+            let series = self.config.gpu_sampler.sample_series(source, duration_secs);
+            CollectedJob { aggregates: series.aggregates(), series: Some(series) }
+        } else {
+            CollectedJob {
+                aggregates: self.config.gpu_sampler.sample_aggregates(source, duration_secs),
+                series: None,
+            }
+        }
+    }
+}
+
+/// Node-local staging buffer: collected job data parked on the node's
+/// SSD until the epilog copies it to the central store. Modeling this
+/// keeps the data path honest (the paper calls out that naive logging
+/// "can easily overload the metadata server and shared file system").
+#[derive(Debug, Clone, Default)]
+pub struct NodeLocalBuffer {
+    staged: HashMap<JobId, CollectedJob>,
+}
+
+impl NodeLocalBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        NodeLocalBuffer::default()
+    }
+
+    /// Stages a finished job's data on local storage. Returns the
+    /// previously staged data for the same job, if any (a re-run after a
+    /// node failure overwrites the stale attempt).
+    pub fn stage(&mut self, job_id: JobId, data: CollectedJob) -> Option<CollectedJob> {
+        self.staged.insert(job_id, data)
+    }
+
+    /// Number of staged jobs.
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Drains everything to the central file system, emptying the buffer.
+    pub fn drain_to_central(&mut self) -> Vec<(JobId, CollectedJob)> {
+        let mut out: Vec<(JobId, CollectedJob)> = self.staged.drain().collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CpuMetricSample, GpuMetricSample};
+    use crate::source::ConstantSource;
+
+    fn source() -> ConstantSource {
+        ConstantSource {
+            gpus: 1,
+            gpu: GpuMetricSample { sm_util: 25.0, power_w: 90.0, ..Default::default() },
+            cpu: CpuMetricSample::default(),
+        }
+    }
+
+    #[test]
+    fn detailed_subset_retains_series() {
+        let cfg = MonitorConfig { retain_series: true, ..Default::default() };
+        let m = JobMonitor::prolog(JobId(9), cfg);
+        let c = m.epilog(&source(), 1.0);
+        let series = c.series.expect("series retained");
+        assert_eq!(series.len(), 10);
+        assert_eq!(c.aggregates[0].sm_util.mean, 25.0);
+        assert_eq!(m.job_id(), JobId(9));
+    }
+
+    #[test]
+    fn default_path_streams_aggregates_only() {
+        let m = JobMonitor::prolog(JobId(1), MonitorConfig::default());
+        let c = m.epilog(&source(), 1.0);
+        assert!(c.series.is_none());
+        assert_eq!(c.aggregates[0].power_w.max, 90.0);
+    }
+
+    #[test]
+    fn buffer_stages_and_drains_sorted() {
+        let m = JobMonitor::prolog(JobId(2), MonitorConfig::default());
+        let mut buf = NodeLocalBuffer::new();
+        buf.stage(JobId(2), m.epilog(&source(), 0.5));
+        buf.stage(JobId(1), m.epilog(&source(), 0.5));
+        assert_eq!(buf.staged_count(), 2);
+        let drained = buf.drain_to_central();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, JobId(1));
+        assert_eq!(buf.staged_count(), 0);
+    }
+
+    #[test]
+    fn restaging_replaces_previous_attempt() {
+        let m = JobMonitor::prolog(JobId(3), MonitorConfig::default());
+        let mut buf = NodeLocalBuffer::new();
+        assert!(buf.stage(JobId(3), m.epilog(&source(), 0.5)).is_none());
+        assert!(buf.stage(JobId(3), m.epilog(&source(), 1.0)).is_some());
+        assert_eq!(buf.staged_count(), 1);
+    }
+
+    #[test]
+    fn collected_into_record_carries_job_id() {
+        let m = JobMonitor::prolog(JobId(4), MonitorConfig::default());
+        let rec = m.epilog(&source(), 1.0).into_record(JobId(4));
+        assert_eq!(rec.job_id, JobId(4));
+        assert_eq!(rec.gpu_count(), 1);
+    }
+}

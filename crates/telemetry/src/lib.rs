@@ -1,0 +1,45 @@
+//! Telemetry substrate: the monitoring pipeline of Sec. II of the paper.
+//!
+//! The Supercloud study collected two time series per job — CPU metrics
+//! at 10-second intervals via Slurm plugins and GPU metrics at 100 ms via
+//! `nvidia-smi` started from the job prolog — buffered them on node-local
+//! storage, copied them to the central file system in the epilog, and
+//! finally joined the scheduler-side and GPU-side datasets by job id.
+//!
+//! This crate models that pipeline faithfully:
+//!
+//! - [`metrics`]: the sample schema (`nvidia-smi` fields the paper uses:
+//!   SM %, memory-bandwidth %, memory-size %, PCIe Tx/Rx, power).
+//! - [`source`]: the [`MetricSource`] trait — the ground-truth process a
+//!   running job exposes; the workload crate provides implementations.
+//! - [`sampler`]: [`GpuSampler`] (100 ms) and [`CpuSampler`] (10 s).
+//! - [`aggregate`]: streaming min/mean/max aggregation, the only thing
+//!   retained for most jobs ("the minimum, mean, and maximum resource
+//!   utilization during the run were reported at the end of the job").
+//! - [`record`]: the per-job record schema joining Slurm-side and
+//!   GPU-side information.
+//! - [`collector`]: prolog/epilog lifecycle and node-local buffering.
+//! - [`dataset`]: the joined dataset with the paper's 30-second filter.
+//! - [`phases`]: active/idle phase analysis over sampled series.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod collector;
+pub mod dataset;
+pub mod metrics;
+pub mod phases;
+pub mod record;
+pub mod sampler;
+pub mod source;
+
+pub use aggregate::{Aggregate, GpuAggregates};
+pub use collector::{JobMonitor, MonitorConfig, NodeLocalBuffer};
+pub use dataset::{Dataset, DatasetFunnel};
+pub use metrics::{CpuMetricSample, GpuMetricSample, GpuResource};
+pub use record::{
+    ExitStatus, GpuJobRecord, JobId, JobRecord, SchedulerRecord, SubmissionInterface, UserId,
+};
+pub use sampler::{CpuSampler, GpuSampler, GpuTimeSeries};
+pub use source::MetricSource;

@@ -1,0 +1,51 @@
+//! Calibrated synthetic workload generator for the Supercloud
+//! characterization study (Li et al., HPCA 2022).
+//!
+//! The paper measured a production population we cannot have: 191 users
+//! submitting 74,820 jobs over 125 days on a 448-GPU cluster. This crate
+//! provides the closest synthetic equivalent — a generative model whose
+//! every parameter is calibrated to a statistic the paper reports:
+//!
+//! - [`spec`]: the calibrated constants, each citing its paper source.
+//! - [`user`]: Pareto-activity users with skill, lifecycle mixes, and
+//!   run-time scales (Secs. IV and VI).
+//! - [`job`]: per-job synthesis — lifecycle class, interface, GPU count,
+//!   run time, planned outcome, and telemetry ground-truth parameters.
+//! - [`truth`]: the piecewise active/idle phase process each GPU
+//!   exhibits, with exact analytic min/mean/max aggregation.
+//! - [`power`]: the linear V100 power model.
+//! - [`arrivals`]: diurnal + conference-deadline arrival intensity and
+//!   bursty CPU campaigns.
+//! - [`trace`]: ties it all together into a [`Trace`].
+//!
+//! # Example
+//!
+//! ```
+//! use sc_workload::{Trace, WorkloadSpec};
+//!
+//! // A 1%-scale Supercloud trace for quick experimentation.
+//! let spec = WorkloadSpec::supercloud().scaled(0.01);
+//! let trace = Trace::generate(&spec, 7);
+//! assert_eq!(trace.jobs().len(), spec.total_jobs);
+//! let multi_gpu = trace.gpu_jobs().filter(|j| j.gpus > 1).count();
+//! assert!(multi_gpu > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrivals;
+pub mod job;
+pub mod power;
+pub mod spec;
+pub mod trace;
+pub mod truth;
+pub mod user;
+
+pub use arrivals::ArrivalIntensity;
+pub use job::{JobFactory, JobSpec, PlannedOutcome};
+pub use power::PowerModel;
+pub use spec::{ClassSpec, LifecycleClass, WorkloadSpec};
+pub use trace::Trace;
+pub use truth::{GpuGroundTruth, JobGroundTruth, ResourceLevels, TruthParams};
+pub use user::{UserPopulation, UserProfile};

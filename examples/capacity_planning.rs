@@ -1,0 +1,116 @@
+//! An operator's capacity-planning session: how far does power capping
+//! plus over-provisioning stretch the same facility?
+//!
+//! The paper (Sec. III): "the Supercloud system has enough power to
+//! support all GPUs at their maximum possible power, and most of this
+//! power goes unused. An effective way to use this power is to
+//! over-provision the system with more GPUs…". This example sweeps the
+//! cap level and reports the throughput/slowdown frontier, then sizes a
+//! co-location deployment on top.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use sc_opportunity::{colocation, OpportunityReport, PairingPolicy};
+use sc_repro::prelude::*;
+
+fn main() {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.05);
+    spec.users = 96;
+    let trace = Trace::generate(&spec, 99);
+    let out = Simulation::supercloud().run(&trace);
+    let views = gpu_views(&out.dataset);
+
+    let report = OpportunityReport::run(&views, 300);
+
+    // --- power frontier -------------------------------------------------
+    println!("{}", report.powercap.render());
+    let best = report.powercap.best();
+    println!(
+        "→ best operating point: cap at {:.0} W hosts {} GPUs in the same power \
+         envelope and delivers {:.2}× the uncapped throughput (mean job slowdown {:.3})\n",
+        best.cap_w, best.gpus_supported, best.relative_throughput, best.mean_slowdown
+    );
+
+    // --- co-location on top ----------------------------------------------
+    println!("co-location policies over a {}-job single-GPU sample:", 300);
+    for r in &report.colocation {
+        println!(
+            "  {:<22} mean slowdown {:.3}, p95 {:.3}, relative throughput {:.2}×",
+            format!("{:?}", r.policy),
+            r.mean_slowdown,
+            r.p95_slowdown,
+            r.relative_throughput
+        );
+    }
+    let aware = report
+        .colocation
+        .iter()
+        .find(|r| r.policy == PairingPolicy::UtilizationAware)
+        .expect("policy evaluated");
+    println!(
+        "→ utilization-aware pairing converts the low average utilization of Fig. 4 \
+         into {:.2}× throughput at {:.1}% mean slowdown\n",
+        aware.relative_throughput,
+        (aware.mean_slowdown - 1.0) * 100.0
+    );
+
+    // --- an emergent two-tier deployment -----------------------------------
+    // Beyond the static economics, the simulator can *run* the tiered
+    // cluster: 32 half-speed nodes absorb the interactive sessions.
+    let mut tiered = sc_repro::cluster::ClusterSpec::supercloud();
+    tiered.slow_tier =
+        Some(sc_repro::cluster::SlowTierSpec { nodes: 32, speed: 0.5 });
+    let tiered_out = Simulation::new(SimConfig {
+        cluster: tiered,
+        detailed_series_jobs: 0,
+        ..Default::default()
+    })
+    .run(&trace);
+    println!(
+        "emergent two-tier run: {} interactive jobs served by 64 slow GPUs, freeing the \
+         448 fast GPUs for batch/ML work (fast-tier peak in use: {} GPUs)\n",
+        tiered_out.stats.slow_tier_jobs, tiered_out.stats.peak_gpus_in_use
+    );
+
+    // --- a worked pair ----------------------------------------------------
+    // Pair the hottest and coldest jobs of the sample and show the
+    // phase-level interference directly.
+    let mut sample: Vec<&sc_core::GpuJobView> =
+        views.iter().filter(|v| v.per_gpu.len() == 1).collect();
+    sample.sort_by(|a, b| a.agg.sm_util.mean.partial_cmp(&b.agg.sm_util.mean).unwrap());
+    if sample.len() >= 2 {
+        let cold = sample[0];
+        let hot = sample[sample.len() - 1];
+        let mk = |v: &sc_core::GpuJobView, seed: u64| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            sc_workload::truth::generate_gpu_truth(
+                &mut rng,
+                &sc_workload::TruthParams {
+                    duration: 3_700.0,
+                    active_fraction: (v.agg.sm_util.mean / v.agg.sm_util.max.max(1.0))
+                        .clamp(0.05, 0.95),
+                    mean_levels: sc_workload::ResourceLevels {
+                        sm: v.agg.sm_util.mean,
+                        mem: v.agg.mem_util.mean,
+                        mem_size: v.agg.mem_size_util.mean,
+                        pcie_tx: v.agg.pcie_tx.mean,
+                        pcie_rx: v.agg.pcie_rx.mean,
+                    },
+                    ..Default::default()
+                },
+            )
+        };
+        let outcome = colocation::simulate_pair(&mk(hot, 1), &mk(cold, 2), 3_600.0, 3_600.0);
+        println!(
+            "worked pair: hot job (SM {:.0}%) + cold job (SM {:.0}%) on one GPU → \
+             slowdowns {:.3} / {:.3}, GPU-time saved {:.0}%",
+            hot.agg.sm_util.mean,
+            cold.agg.sm_util.mean,
+            outcome.slowdown_a,
+            outcome.slowdown_b,
+            outcome.packing_gain * 100.0
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Cross-system comparison: Supercloud vs a Philly-like DNN-training
+//! cluster (Jeon et al. [23]), through the same pipeline.
+//!
+//! Sec. V of the paper anchors its multi-GPU findings against
+//! Microsoft's Philly trace: "on Microsoft's Philly clusters, 93% of
+//! the jobs are run on one GPU and only 2.5% of the jobs run on more
+//! than four GPUs." This example generates both populations and prints
+//! the side-by-side job-size and life-cycle structure.
+//!
+//! ```text
+//! cargo run --release --example philly_comparison
+//! ```
+
+use sc_core::figures::fig13::SizeBucket;
+use sc_repro::prelude::*;
+
+fn characterize(name: &str, spec: &WorkloadSpec, seed: u64) -> (String, f64) {
+    let trace = Trace::generate(spec, seed);
+    let out = Simulation::supercloud().run(&trace);
+    let views = gpu_views(&out.dataset);
+    let users = user_stats(&views);
+    let fig13 = sc_core::figures::Fig13::compute(&views, &users);
+    let fig15 = sc_core::figures::Fig15::compute(&views);
+    let mut s = format!("=== {name} ===\n");
+    s.push_str("  job sizes:\n");
+    for r in &fig13.rows {
+        s.push_str(&format!(
+            "    {:<9} {:>5.1}% of jobs, {:>5.1}% of GPU hours\n",
+            r.bucket.label(),
+            r.job_share * 100.0,
+            r.hours_share * 100.0
+        ));
+    }
+    s.push_str(&format!(
+        "  users with a multi-GPU job: {:.0}%\n",
+        fig13.users_with_multi_gpu * 100.0
+    ));
+    s.push_str("  life-cycle mix:\n");
+    for c in &fig15.shares {
+        s.push_str(&format!(
+            "    {:<12} {:>5.1}% of jobs, {:>5.1}% of GPU hours\n",
+            c.class.to_string(),
+            c.job_share * 100.0,
+            c.hours_share * 100.0
+        ));
+    }
+    (s, fig13.row(SizeBucket::One).job_share)
+}
+
+fn main() {
+    let mut supercloud = WorkloadSpec::supercloud().scaled(0.05);
+    supercloud.users = 96;
+    let mut philly = WorkloadSpec::philly().scaled(0.05);
+    philly.users = 96;
+
+    let (sc_text, sc_single) = characterize("Supercloud (this paper)", &supercloud, 11);
+    let (ph_text, ph_single) = characterize("Philly-like baseline (Jeon et al.)", &philly, 11);
+    println!("{sc_text}");
+    println!("{ph_text}");
+    println!(
+        "single-GPU job share: Supercloud {:.1}% vs Philly {:.1}% — the paper's \
+         comparison point (84% vs 93%); Philly's batch-training population also shows \
+         almost no interactive/IDE tier, which is exactly the new trend the Supercloud \
+         study highlights.",
+        sc_single * 100.0,
+        ph_single * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! Seed determinism: the entire reproduction — trace, schedule,
+//! telemetry, figures — is a pure function of (spec, seed).
+
+use sc_repro::prelude::*;
+
+fn run(seed: u64) -> (Trace, SimOutput) {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, seed);
+    let out = Simulation::new(SimConfig { detailed_series_jobs: 30, ..Default::default() })
+        .run(&trace);
+    (trace, out)
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_for_bit() {
+    let (ta, a) = run(77);
+    let (tb, b) = run(77);
+    assert_eq!(ta.jobs(), tb.jobs());
+    assert_eq!(a.dataset.records().len(), b.dataset.records().len());
+    for (ra, rb) in a.dataset.records().iter().zip(b.dataset.records()) {
+        assert_eq!(ra.sched, rb.sched);
+        assert_eq!(ra.gpu, rb.gpu);
+    }
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.detailed, b.detailed);
+    // Rendered figures are textually identical.
+    let fa = AnalysisReport::from_sim(&a).render_text();
+    let fb = AnalysisReport::from_sim(&b).render_text();
+    assert_eq!(fa, fb);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (ta, _) = run(1);
+    let (tb, _) = run(2);
+    assert_ne!(ta.jobs(), tb.jobs());
+}
+
+#[test]
+fn ground_truth_regeneration_is_stable() {
+    let (trace, _) = run(3);
+    for job in trace.gpu_jobs().take(25) {
+        let a = job.ground_truth().expect("gpu job");
+        let b = job.ground_truth().expect("gpu job");
+        assert_eq!(a, b, "job {} truth must be seed-stable", job.job_id);
+    }
+}
+
+#[test]
+fn figure_statistics_are_stable_across_reruns() {
+    let (_, a) = run(4);
+    let (_, b) = run(4);
+    let va = gpu_views(&a.dataset);
+    let vb = gpu_views(&b.dataset);
+    let ua = user_stats(&va);
+    let ub = user_stats(&vb);
+    assert_eq!(ua, ub);
+}
