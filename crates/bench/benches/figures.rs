@@ -37,12 +37,8 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig10_user_averages", |b| b.iter(|| black_box(Fig10::compute(&users))));
     g.bench_function("fig11_user_variability", |b| b.iter(|| black_box(Fig11::compute(&users))));
     g.bench_function("fig12_spearman", |b| b.iter(|| black_box(Fig12::compute(&users))));
-    g.bench_function("fig13_multi_gpu", |b| {
-        b.iter(|| black_box(Fig13::compute(&views, &users)))
-    });
-    g.bench_function("fig14_cross_gpu_balance", |b| {
-        b.iter(|| black_box(Fig14::compute(&views)))
-    });
+    g.bench_function("fig13_multi_gpu", |b| b.iter(|| black_box(Fig13::compute(&views, &users))));
+    g.bench_function("fig14_cross_gpu_balance", |b| b.iter(|| black_box(Fig14::compute(&views))));
     g.bench_function("fig15_lifecycle_mix", |b| b.iter(|| black_box(Fig15::compute(&views))));
     g.bench_function("fig16_class_boxes", |b| b.iter(|| black_box(Fig16::compute(&views))));
     g.bench_function("fig17_user_mixes", |b| b.iter(|| black_box(Fig17::compute(&users))));

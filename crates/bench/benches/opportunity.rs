@@ -18,13 +18,7 @@ fn bench_opportunity(c: &mut Criterion) {
     g.bench_function("powercap_sweep", |b| {
         let caps = [100.0, 150.0, 200.0, 250.0, 300.0];
         b.iter(|| {
-            black_box(powercap::OverProvisionStudy::run(
-                &views,
-                &caps,
-                448.0 * 300.0,
-                300.0,
-                20.0,
-            ))
+            black_box(powercap::OverProvisionStudy::run(&views, &caps, 448.0 * 300.0, 300.0, 20.0))
         })
     });
 

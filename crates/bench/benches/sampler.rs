@@ -1,0 +1,52 @@
+//! Telemetry-sampler benchmarks: the streaming aggregate path and the
+//! materialized series path, at a short (1 h) and a long (20 h) job
+//! duration.
+//!
+//! Run `cargo bench -p sc-bench --bench sampler`. The 20-hour case is
+//! the one that dominates the full reproduction (720,000 ticks per GPU
+//! at the 100 ms production period); the constant-span fast path in
+//! `GpuSampler` is what keeps it tractable, and these benches are where
+//! a regression to per-tick sampling would show first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::bench_trace;
+use sc_telemetry::sampler::GpuSampler;
+use sc_workload::JobGroundTruth;
+use std::hint::black_box;
+
+const HOUR_SECS: f64 = 3_600.0;
+
+/// Ground truth of the first multi-GPU job in the bench trace — a real
+/// phase/spike structure rather than a synthetic constant source, so
+/// both the fast path and the per-tick path get exercised.
+fn bench_truth() -> JobGroundTruth {
+    let trace = bench_trace();
+    trace
+        .jobs()
+        .iter()
+        .filter(|j| j.gpus >= 2)
+        .find_map(|j| j.ground_truth())
+        .expect("bench trace contains a multi-GPU job")
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let truth = bench_truth();
+    let sampler = GpuSampler::new();
+
+    let mut g = c.benchmark_group("sampler");
+    g.sample_size(10);
+
+    for (label, hours) in [("1h", 1.0), ("20h", 20.0)] {
+        let duration = hours * HOUR_SECS;
+        g.bench_function(&format!("aggregates_{label}"), |b| {
+            b.iter(|| black_box(sampler.sample_aggregates(&truth, duration)))
+        });
+        g.bench_function(&format!("series_{label}"), |b| {
+            b.iter(|| black_box(sampler.sample_series(&truth, duration)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampler);
+criterion_main!(benches);

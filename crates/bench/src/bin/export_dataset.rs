@@ -15,9 +15,8 @@ fn main() {
     let mut csv: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| panic!("missing value for {name}"))
-        };
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
         match flag.as_str() {
             "--scale" => scale = value("--scale").parse().expect("numeric --scale"),
             "--seed" => seed = value("--seed").parse().expect("integer --seed"),

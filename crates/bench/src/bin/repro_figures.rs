@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! repro_figures [--scale F] [--seed N] [--out EXPERIMENTS.md]
+//!               [--threads N] [--bench-json BENCH_repro.json]
 //! ```
 //!
 //! With no arguments this runs the full 125-day / 74,820-job Supercloud
-//! reproduction (about two minutes on one core) and prints the figure
-//! series to stdout; pass `--out` to also write the Markdown comparison.
+//! reproduction on all available cores and prints the figure series to
+//! stdout; pass `--out` to also write the Markdown comparison,
+//! `--threads 1` for the sequential reference run, and `--bench-json`
+//! for a machine-readable per-stage timing breakdown.
 
 use sc_cluster::{SimConfig, Simulation};
 use sc_core::AnalysisReport;
@@ -19,24 +22,62 @@ struct Args {
     seed: u64,
     out: Option<String>,
     svg_dir: Option<String>,
+    threads: Option<usize>,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: 1.0, seed: 42, out: None, svg_dir: None };
+    let mut args =
+        Args { scale: 1.0, seed: 42, out: None, svg_dir: None, threads: None, bench_json: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| panic!("missing value for {name}"))
-        };
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
         match flag.as_str() {
             "--scale" => args.scale = value("--scale").parse().expect("numeric --scale"),
             "--seed" => args.seed = value("--seed").parse().expect("integer --seed"),
             "--out" => args.out = Some(value("--out")),
             "--svg-dir" => args.svg_dir = Some(value("--svg-dir")),
+            "--threads" => {
+                args.threads = Some(value("--threads").parse().expect("integer --threads"));
+            }
+            "--bench-json" => args.bench_json = Some(value("--bench-json")),
             other => panic!("unknown flag {other}"),
         }
     }
     args
+}
+
+/// One timed pipeline stage for the `--bench-json` report.
+struct Stage {
+    name: &'static str,
+    secs: f64,
+}
+
+/// Renders the benchmark report by hand: four stages and a handful of
+/// scalars do not warrant a serialization dependency in a binary.
+fn bench_json(threads: usize, scale: f64, seed: u64, jobs: usize, stages: &[Stage]) -> String {
+    let total: f64 = stages.iter().map(|s| s.secs).sum();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"stages\": {\n");
+    for (i, s) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"secs\": {:.6}, \"jobs_per_sec\": {:.1} }}{comma}\n",
+            s.name,
+            s.secs,
+            jobs as f64 / s.secs.max(1e-9)
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"total_secs\": {total:.6},\n"));
+    out.push_str(&format!("  \"total_jobs_per_sec\": {:.1}\n", jobs as f64 / total.max(1e-9)));
+    out.push_str("}\n");
+    out
 }
 
 /// Residual deviations we know about and accept; everything else in the
@@ -59,22 +100,65 @@ run-time medians we prioritize.\n\
 - **Fig. 12 CoV correlations.** The paper reports low positive bars; we land \
 slightly negative to flat (≈-0.2…0.1). The qualitative claim — expert users \
 are *not* more predictable — holds; the exact bar heights depend on \
-unpublished within-user structure.\n";
+unpublished within-user structure.\n\
+- **Top-share sampling variance (Fig. 11).** The fitted Pareto shape \
+(α ≈ 1.13) has infinite variance, so the *empirical* top-20% GPU-hour share \
+of a 20k-user draw ranges 0.75-0.96 across seeds even though the analytic \
+Lorenz shares match the paper exactly. Sampled-share tests therefore assert \
+wide heavy-tail bands; the exact calibration is checked analytically.\n\
+- **Wait growth under capacity loss.** With the full cluster at ~20% \
+occupancy the mean queue wait is floored at the 3 s scheduler latency, so \
+the wait-growth factor when capacity shrinks is bounded by queueing pressure \
+alone: we measure ≈7× and assert a robust 5× directional bar rather than the \
+10× one might expect from utilization ratios.\n\
+- **Deadline surge is a GPU-job metric.** CPU campaign bursts can land \
+hundreds of jobs on a single off-season day and swamp the all-jobs daily \
+mean, so the pre-deadline surge (Sec. II) is computed over GPU submissions \
+only, where the deadline ramp actually shows (≈1.2× vs the 1.1× bar).\n";
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        sc_par::set_max_threads(n);
+    }
     let spec = WorkloadSpec::supercloud().scaled(args.scale);
     eprintln!(
-        "generating {} jobs / {} users over {} days (seed {}) ...",
-        spec.total_jobs, spec.users, spec.duration_days, args.seed
+        "generating {} jobs / {} users over {} days (seed {}, {} threads) ...",
+        spec.total_jobs,
+        spec.users,
+        spec.duration_days,
+        args.seed,
+        sc_par::current_threads()
     );
+    let t0 = std::time::Instant::now();
     let trace = Trace::generate(&spec, args.seed);
+    let trace_gen_secs = t0.elapsed().as_secs_f64();
     let detailed = ((2_149.0 * args.scale).round() as usize).max(50);
     let sim = Simulation::new(SimConfig { detailed_series_jobs: detailed, ..Default::default() });
     let t0 = std::time::Instant::now();
-    let out = sim.run(&trace);
+    let (out, timings) = sim.run_timed(&trace);
     eprintln!("simulated in {:?}; analyzing ...", t0.elapsed());
+    let t0 = std::time::Instant::now();
     let report = AnalysisReport::from_sim(&out);
+    let analysis_secs = t0.elapsed().as_secs_f64();
+
+    if let Some(path) = &args.bench_json {
+        let stages = [
+            Stage { name: "trace_gen", secs: trace_gen_secs },
+            Stage { name: "sim_event_loop", secs: timings.event_loop_secs },
+            Stage { name: "telemetry", secs: timings.telemetry_secs },
+            Stage { name: "analysis", secs: analysis_secs },
+        ];
+        let json = bench_json(
+            sc_par::current_threads(),
+            args.scale,
+            args.seed,
+            trace.jobs().len(),
+            &stages,
+        );
+        std::fs::write(path, json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
 
     println!("{}", report.render_text());
     println!("detailed-series jobs collected: {}", out.detailed.len());
@@ -107,10 +191,7 @@ fn main() {
         sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset).render(&spec.deadline_days)
     );
 
-    println!(
-        "{}",
-        sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render()
-    );
+    println!("{}", sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render());
 
     // Opportunity studies (Secs. III/VI/VIII) over the same population.
     let opportunity = OpportunityReport::run(&views, 400);
@@ -123,8 +204,7 @@ fn main() {
         md.push_str(&sc_core::WorkflowChain::fit(&views).render());
         md.push('\n');
         md.push_str(
-            &sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset)
-                .render(&spec.deadline_days),
+            &sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset).render(&spec.deadline_days),
         );
         md.push('\n');
         md.push_str(&sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render());
@@ -135,7 +215,10 @@ fn main() {
         md.push_str(&format!(
             "\n---\nGenerated by `repro_figures --scale {} --seed {}`; detailed subset {} jobs; \
              simulated {} events.\n",
-            args.scale, args.seed, out.detailed.len(), out.stats.events
+            args.scale,
+            args.seed,
+            out.detailed.len(),
+            out.stats.events
         ));
         std::fs::write(&path, md).expect("write report");
         eprintln!("wrote {path}");

@@ -20,8 +20,7 @@ pub fn bench_sim() -> &'static SimOutput {
         let mut spec = WorkloadSpec::supercloud().scaled(0.04);
         spec.users = 64;
         let trace = Trace::generate(&spec, 20_230_101);
-        Simulation::new(SimConfig { detailed_series_jobs: 90, ..Default::default() })
-            .run(&trace)
+        Simulation::new(SimConfig { detailed_series_jobs: 90, ..Default::default() }).run(&trace)
     })
 }
 

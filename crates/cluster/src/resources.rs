@@ -135,16 +135,14 @@ impl ClusterState {
             && job.interface == sc_telemetry::record::SubmissionInterface::Interactive;
         let mut order: Vec<usize> = (0..self.nodes.len())
             .filter(|&i| {
-                self.spec.slow_tier.is_none()
-                    || (self.spec.is_slow_node(i as u32) == route_slow)
+                self.spec.slow_tier.is_none() || (self.spec.is_slow_node(i as u32) == route_slow)
             })
             .collect();
         // Dense packing: most free GPUs first; ties prefer the leaf
         // switch with the most free GPUs (keeping multi-node jobs on
         // "neighboring nodes on the network interconnect"); final
         // tie-break by index keeps placement deterministic.
-        let mut switch_free: Vec<u32> =
-            vec![0; self.nodes.len() / nps as usize + 1];
+        let mut switch_free: Vec<u32> = vec![0; self.nodes.len() / nps as usize + 1];
         for (i, n) in self.nodes.iter().enumerate() {
             switch_free[i / nps as usize] += n.gpus_free;
         }

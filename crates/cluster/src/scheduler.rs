@@ -110,7 +110,12 @@ impl Scheduler {
     /// Runs one FCFS + EASY-backfill pass at time `now` against the
     /// cluster state, committing allocations for every job it starts and
     /// removing them from the queue. `jobs` is the full trace job list.
-    pub fn schedule(&mut self, now: f64, cluster: &mut ClusterState, jobs: &[JobSpec]) -> SchedulePass {
+    pub fn schedule(
+        &mut self,
+        now: f64,
+        cluster: &mut ClusterState,
+        jobs: &[JobSpec],
+    ) -> SchedulePass {
         let mut pass = SchedulePass::default();
         let mut blocked_shadow: Option<f64> = None;
         let mut i = 0;
@@ -157,11 +162,7 @@ impl Scheduler {
     /// approximation of EASY's reservation computation). With nothing
     /// running there is nothing to wait for; schedule eagerly.
     fn shadow_time(&self, now: f64) -> f64 {
-        self.running
-            .values()
-            .map(|r| r.estimated_end)
-            .fold(f64::INFINITY, f64::min)
-            .max(now)
+        self.running.values().map(|r| r.estimated_end).fold(f64::INFINITY, f64::min).max(now)
     }
 
     /// Queue snapshot (for tests and instrumentation).

@@ -105,6 +105,39 @@ pub struct SimOutput {
     pub stats: SimStats,
 }
 
+/// Wall-clock timings of one simulation run, split by stage.
+///
+/// Kept separate from [`SimStats`] on purpose: stats are part of the
+/// deterministic output contract (tests assert equality across runs and
+/// thread counts), while timings vary run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTimings {
+    /// Discrete-event loop (scheduling + event processing), seconds.
+    pub event_loop_secs: f64,
+    /// Batch telemetry synthesis (ground-truth regeneration, analytic
+    /// aggregates, detailed-subset sampling), seconds.
+    pub telemetry_secs: f64,
+}
+
+/// A job termination recorded by the event loop; the telemetry epilog
+/// for it runs later, in the parallel batch. Order in the completion
+/// list is event order, which fixes the output record order.
+struct Completion {
+    trace_idx: usize,
+    start_time: f64,
+    end_time: f64,
+    exit: ExitStatus,
+}
+
+/// Everything the epilog derives from one completion — a pure function
+/// of the job spec and its realized `[start, end)` window, so the batch
+/// can run on any number of threads without changing a byte.
+struct JobEpilog {
+    sched: SchedulerRecord,
+    gpu: Option<GpuJobRecord>,
+    detailed: Option<DetailedJobStats>,
+}
+
 /// The discrete-event simulation.
 #[derive(Debug, Clone)]
 pub struct Simulation {
@@ -130,6 +163,13 @@ impl Simulation {
 
     /// Replays `trace` to completion and builds the dataset.
     pub fn run(&self, trace: &Trace) -> SimOutput {
+        self.run_timed(trace).0
+    }
+
+    /// Like [`Simulation::run`], also reporting per-stage wall-clock
+    /// timings. The output is identical to `run`'s for the same trace.
+    pub fn run_timed(&self, trace: &Trace) -> (SimOutput, SimTimings) {
+        let wall = std::time::Instant::now();
         let jobs = trace.jobs();
         let mut cluster = ClusterState::new(self.config.cluster.clone());
         let mut scheduler = Scheduler::with_policy(self.config.policy);
@@ -147,9 +187,7 @@ impl Simulation {
             (self.config.detailed_series_jobs as f64 / expected_analyzed).min(1.0);
         let sampler = GpuSampler::with_period(self.config.gpu_sample_period_secs);
 
-        let mut sched_records: Vec<SchedulerRecord> = Vec::with_capacity(jobs.len());
-        let mut gpu_records: Vec<GpuJobRecord> = Vec::new();
-        let mut detailed: Vec<DetailedJobStats> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::with_capacity(jobs.len());
         let mut pending_end: HashMap<JobId, (f64, ExitStatus)> = HashMap::new();
         let mut killed: std::collections::HashSet<JobId> = std::collections::HashSet::new();
         let mut down: std::collections::HashSet<crate::resources::NodeId> =
@@ -193,22 +231,14 @@ impl Simulation {
                     }
                     let running = scheduler.finish(job_id);
                     cluster.release(&running.alloc);
-                    let job = &jobs[running.trace_idx];
-                    let (end_time, exit) =
-                        *pending_end.get(&job_id).expect("end decided at start");
+                    let (end_time, exit) = *pending_end.get(&job_id).expect("end decided at start");
                     debug_assert!((end_time - now).abs() < 1e-6);
-                    self.finalize_job(
-                        job,
-                        running.start_time,
+                    completions.push(Completion {
+                        trace_idx: running.trace_idx,
+                        start_time: running.start_time,
                         end_time,
                         exit,
-                        detailed_fraction,
-                        &sampler,
-                        &mut sched_records,
-                        &mut gpu_records,
-                        &mut detailed,
-                        &mut stats,
-                    );
+                    });
                     pending_end.remove(&job_id);
                 }
                 Event::NodeFail(node) => {
@@ -220,25 +250,17 @@ impl Simulation {
                     for job_id in scheduler.running_on_node(node) {
                         let running = scheduler.finish(job_id);
                         cluster.release(&running.alloc);
-                        let job = &jobs[running.trace_idx];
-                        self.finalize_job(
-                            job,
-                            running.start_time,
-                            now.max(running.start_time + 1.0),
-                            ExitStatus::NodeFailure,
-                            detailed_fraction,
-                            &sampler,
-                            &mut sched_records,
-                            &mut gpu_records,
-                            &mut detailed,
-                            &mut stats,
-                        );
+                        completions.push(Completion {
+                            trace_idx: running.trace_idx,
+                            start_time: running.start_time,
+                            end_time: now.max(running.start_time + 1.0),
+                            exit: ExitStatus::NodeFailure,
+                        });
                         pending_end.remove(&job_id);
                         killed.insert(job_id);
                     }
                     cluster.set_offline(node);
-                    let repair =
-                        self.config.node_failures.expect("failures enabled").repair_secs;
+                    let repair = self.config.node_failures.expect("failures enabled").repair_secs;
                     queue.push(now + repair, Event::NodeRepair(node));
                 }
                 Event::NodeRepair(node) => {
@@ -288,8 +310,45 @@ impl Simulation {
         }
         assert_eq!(scheduler.running_len(), 0, "all jobs must terminate");
         assert_eq!(scheduler.pending_len(), 0, "no job may be left queued");
+        let event_loop_secs = wall.elapsed().as_secs_f64();
 
-        SimOutput { dataset: Dataset::join(sched_records, gpu_records), detailed, stats }
+        // Batch telemetry synthesis, decoupled from the event loop.
+        // Each epilog is a pure function of (job spec, start, end,
+        // exit), so the batch parallelizes freely; `par_map` returns
+        // results in completion order, which keeps the dataset
+        // byte-identical to the old inline path at any thread count.
+        let batch_t0 = std::time::Instant::now();
+        let epilogs = sc_par::par_map(&completions, |c| {
+            self.synthesize_epilog(
+                &jobs[c.trace_idx],
+                c.start_time,
+                c.end_time,
+                c.exit,
+                detailed_fraction,
+                &sampler,
+            )
+        });
+        let mut sched_records: Vec<SchedulerRecord> = Vec::with_capacity(jobs.len());
+        let mut gpu_records: Vec<GpuJobRecord> = Vec::new();
+        let mut detailed: Vec<DetailedJobStats> = Vec::new();
+        for epilog in epilogs {
+            // Scalar stats accumulate in completion order, exactly as
+            // the inline path summed them (float addition order
+            // matters for reproducibility).
+            stats.gpu_hours += epilog.sched.gpu_hours();
+            if epilog.sched.exit == ExitStatus::NodeFailure {
+                stats.hardware_failures += 1;
+            }
+            sched_records.push(epilog.sched);
+            gpu_records.extend(epilog.gpu);
+            detailed.extend(epilog.detailed);
+        }
+        let telemetry_secs = batch_t0.elapsed().as_secs_f64();
+
+        (
+            SimOutput { dataset: Dataset::join(sched_records, gpu_records), detailed, stats },
+            SimTimings { event_loop_secs, telemetry_secs },
+        )
     }
 
     /// Decides when and how a started job ends. `stretch ≥ 1` scales
@@ -336,11 +395,12 @@ impl Simulation {
         (start + run.max(1.0), exit)
     }
 
-    /// Runs the epilog for a finished job: scheduler record, analytic
+    /// The epilog of one finished job: scheduler record, analytic
     /// telemetry aggregates, and — for the detailed subset — the 100 ms
-    /// sampled series reduced to phase statistics.
-    #[allow(clippy::too_many_arguments)]
-    fn finalize_job(
+    /// sampled series reduced to phase statistics. Pure with respect to
+    /// its inputs (the ground truth regenerates from the job's seed),
+    /// which is what lets the batch run in parallel.
+    fn synthesize_epilog(
         &self,
         job: &JobSpec,
         start_time: f64,
@@ -348,12 +408,8 @@ impl Simulation {
         exit: ExitStatus,
         detailed_fraction: f64,
         sampler: &GpuSampler,
-        sched_records: &mut Vec<SchedulerRecord>,
-        gpu_records: &mut Vec<GpuJobRecord>,
-        detailed: &mut Vec<DetailedJobStats>,
-        stats: &mut SimStats,
-    ) {
-        let record = SchedulerRecord {
+    ) -> JobEpilog {
+        let sched = SchedulerRecord {
             job_id: job.job_id,
             user: job.user,
             interface: job.interface,
@@ -366,14 +422,12 @@ impl Simulation {
             time_limit: job.time_limit,
             exit,
         };
-        let run_time = record.run_time();
-        stats.gpu_hours += record.gpu_hours();
-        if exit == ExitStatus::NodeFailure {
-            stats.hardware_failures += 1;
-        }
+        let run_time = sched.run_time();
+        let mut gpu = None;
+        let mut detailed = None;
         if job.is_gpu_job() && run_time >= MIN_GPU_JOB_RUNTIME_SECS {
             if let Some(truth) = job.ground_truth() {
-                gpu_records.push(GpuJobRecord {
+                gpu = Some(GpuJobRecord {
                     job_id: job.job_id,
                     per_gpu: truth.analytic_aggregates(run_time),
                 });
@@ -381,14 +435,14 @@ impl Simulation {
                     let series = sampler.sample_series(&truth, run_time);
                     if !series.is_empty() {
                         let phases = phase_stats(&series).expect("non-empty series");
-                        let variability =
-                            active_variability(&series).expect("non-empty series");
-                        detailed.push(DetailedJobStats { job_id: job.job_id, phases, variability });
+                        let variability = active_variability(&series).expect("non-empty series");
+                        detailed =
+                            Some(DetailedJobStats { job_id: job.job_id, phases, variability });
                     }
                 }
             }
         }
-        sched_records.push(record);
+        JobEpilog { sched, gpu, detailed }
     }
 }
 
@@ -409,10 +463,7 @@ mod tests {
     fn run_small(seed: u64) -> (Trace, SimOutput) {
         let spec = WorkloadSpec::supercloud().scaled(0.01);
         let trace = Trace::generate(&spec, seed);
-        let sim = Simulation::new(SimConfig {
-            detailed_series_jobs: 60,
-            ..Default::default()
-        });
+        let sim = Simulation::new(SimConfig { detailed_series_jobs: 60, ..Default::default() });
         let out = sim.run(&trace);
         (trace, out)
     }
@@ -422,8 +473,7 @@ mod tests {
         let (trace, out) = run_small(1);
         assert_eq!(out.dataset.funnel().total_jobs, trace.jobs().len());
         // Records are unique by job id.
-        let mut ids: Vec<u64> =
-            out.dataset.records().iter().map(|r| r.sched.job_id.0).collect();
+        let mut ids: Vec<u64> = out.dataset.records().iter().map(|r| r.sched.job_id.0).collect();
         let before = ids.len();
         ids.sort();
         ids.dedup();
@@ -498,17 +548,11 @@ mod tests {
         let trace = Trace::generate(&spec, 2_024);
         let mut cluster = ClusterSpec::supercloud();
         cluster.slow_tier = Some(SlowTierSpec { nodes: 32, speed: 0.5 });
-        let tiered = Simulation::new(SimConfig {
-            cluster,
-            detailed_series_jobs: 0,
-            ..Default::default()
-        })
-        .run(&trace);
-        let flat = Simulation::new(SimConfig {
-            detailed_series_jobs: 0,
-            ..Default::default()
-        })
-        .run(&trace);
+        let tiered =
+            Simulation::new(SimConfig { cluster, detailed_series_jobs: 0, ..Default::default() })
+                .run(&trace);
+        let flat = Simulation::new(SimConfig { detailed_series_jobs: 0, ..Default::default() })
+            .run(&trace);
         // Interactive jobs landed on the tier.
         assert!(tiered.stats.slow_tier_jobs > 0, "no jobs routed to slow tier");
         assert_eq!(flat.stats.slow_tier_jobs, 0);
@@ -586,6 +630,27 @@ mod tests {
     }
 
     #[test]
+    fn output_is_identical_across_thread_budgets() {
+        // The deterministic-parallelism rule: the batch telemetry
+        // synthesis must produce the same records, detailed subset, and
+        // stats (including order-sensitive float sums) on 1 thread and
+        // on many.
+        let spec = WorkloadSpec::supercloud().scaled(0.005);
+        let trace = Trace::generate(&spec, 31);
+        let sim = Simulation::new(SimConfig { detailed_series_jobs: 30, ..Default::default() });
+        let saved = sc_par::current_threads();
+        sc_par::set_max_threads(1);
+        let (single, timings) = sim.run_timed(&trace);
+        sc_par::set_max_threads(4);
+        let multi = sim.run(&trace);
+        sc_par::set_max_threads(saved);
+        assert_eq!(single.dataset.records(), multi.dataset.records());
+        assert_eq!(single.detailed, multi.detailed);
+        assert_eq!(single.stats, multi.stats);
+        assert!(timings.event_loop_secs >= 0.0 && timings.telemetry_secs >= 0.0);
+    }
+
+    #[test]
     fn deterministic_output() {
         let (_, a) = run_small(8);
         let (_, b) = run_small(8);
@@ -599,10 +664,8 @@ mod tests {
     #[test]
     fn gpu_jobs_wait_less_than_cpu_jobs() {
         let (_, out) = run_small(9);
-        let gpu_waits: Vec<f64> =
-            out.dataset.gpu_jobs().map(|r| r.sched.queue_wait()).collect();
-        let cpu_waits: Vec<f64> =
-            out.dataset.cpu_jobs().map(|r| r.sched.queue_wait()).collect();
+        let gpu_waits: Vec<f64> = out.dataset.gpu_jobs().map(|r| r.sched.queue_wait()).collect();
+        let cpu_waits: Vec<f64> = out.dataset.cpu_jobs().map(|r| r.sched.queue_wait()).collect();
         assert!(!gpu_waits.is_empty() && !cpu_waits.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         // The paper's headline scheduling result, directionally: GPU

@@ -112,14 +112,8 @@ impl Fig3 {
             format_cdf_points(&self.cpu_runtime_min.log_curve(24, 0.1), 24)
         ));
         s.push_str("Fig. 3(b) queue wait as % of service time:\n");
-        s.push_str(&format!(
-            "  GPU: {}\n",
-            format_cdf_points(&self.gpu_wait_pct.curve(20), 20)
-        ));
-        s.push_str(&format!(
-            "  CPU: {}\n",
-            format_cdf_points(&self.cpu_wait_pct.curve(20), 20)
-        ));
+        s.push_str(&format!("  GPU: {}\n", format_cdf_points(&self.gpu_wait_pct.curve(20), 20)));
+        s.push_str(&format!("  CPU: {}\n", format_cdf_points(&self.cpu_wait_pct.curve(20), 20)));
         s
     }
 }
@@ -146,10 +140,7 @@ mod tests {
         // The paper's headline: GPU jobs clear the queue almost
         // instantly, CPU jobs do not.
         assert!(fig.gpu_wait_secs.fraction_at_most(60.0) > 0.9);
-        assert!(
-            fig.cpu_wait_secs.fraction_above(60.0)
-                > fig.gpu_wait_secs.fraction_above(60.0)
-        );
+        assert!(fig.cpu_wait_secs.fraction_above(60.0) > fig.gpu_wait_secs.fraction_above(60.0));
     }
 
     #[test]

@@ -77,9 +77,7 @@ impl Fig4 {
     /// Renders the figure series as text.
     pub fn render(&self) -> String {
         let mut s = String::from("Fig. 4(a) utilization ECDFs (%):\n");
-        for (name, cdf) in
-            [("SM", &self.sm), ("Memory", &self.mem), ("MemSize", &self.mem_size)]
-        {
+        for (name, cdf) in [("SM", &self.sm), ("Memory", &self.mem), ("MemSize", &self.mem_size)] {
             s.push_str(&format!("  {name}: {}\n", format_cdf_points(&cdf.curve(20), 20)));
         }
         s.push_str("Fig. 4(b) PCIe bandwidth utilization ECDFs (%):\n");

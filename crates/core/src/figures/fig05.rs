@@ -131,7 +131,12 @@ mod tests {
         let inter = fig.row(SubmissionInterface::Interactive);
         // Map-reduce is ~1% of jobs, so its small-sample median is noisy;
         // require the ordering with slack there and strictly elsewhere.
-        assert!(other.sm.median >= 0.5 * mr.sm.median, "other {} vs mr {}", other.sm.median, mr.sm.median);
+        assert!(
+            other.sm.median >= 0.5 * mr.sm.median,
+            "other {} vs mr {}",
+            other.sm.median,
+            mr.sm.median
+        );
         assert!(other.sm.median >= inter.sm.median);
     }
 

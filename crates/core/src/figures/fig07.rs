@@ -40,10 +40,8 @@ impl Fig7 {
         let bottlenecks = GpuResource::UTILIZATION
             .iter()
             .map(|&r| {
-                let hit = views
-                    .iter()
-                    .filter(|v| is_bottlenecked(v.agg.resource(r).max, r))
-                    .count();
+                let hit =
+                    views.iter().filter(|v| is_bottlenecked(v.agg.resource(r).max, r)).count();
                 (r, hit as f64 / n)
             })
             .collect();
@@ -71,7 +69,12 @@ impl Fig7 {
     /// Paper-vs-measured rows.
     pub fn comparisons(&self) -> Vec<Comparison> {
         vec![
-            Comparison::new("median SM CoV (active)", paper::SM_COV_MEDIAN, self.sm_cov.median(), "%"),
+            Comparison::new(
+                "median SM CoV (active)",
+                paper::SM_COV_MEDIAN,
+                self.sm_cov.median(),
+                "%",
+            ),
             Comparison::new(
                 "median memory CoV (active)",
                 paper::MEM_COV_MEDIAN,
@@ -108,11 +111,9 @@ impl Fig7 {
     /// Renders both panels as text.
     pub fn render(&self) -> String {
         let mut s = String::from("Fig. 7(a) active-phase CoV ECDFs (%):\n");
-        for (name, cdf) in [
-            ("SM", &self.sm_cov),
-            ("Memory", &self.mem_cov),
-            ("MemSize", &self.mem_size_cov),
-        ] {
+        for (name, cdf) in
+            [("SM", &self.sm_cov), ("Memory", &self.mem_cov), ("MemSize", &self.mem_size_cov)]
+        {
             s.push_str(&format!("  {name}: {}\n", format_cdf_points(&cdf.curve(16), 16)));
         }
         s.push_str("Fig. 7(b) bottleneck radar (% of jobs at 100% at least once):\n");

@@ -35,8 +35,7 @@ impl Fig8 {
         let rs = GpuResource::UTILIZATION;
         for i in 0..rs.len() {
             for j in i + 1..rs.len() {
-                let f =
-                    views.iter().filter(|v| hit(v, rs[i]) && hit(v, rs[j])).count() as f64 / n;
+                let f = views.iter().filter(|v| hit(v, rs[i]) && hit(v, rs[j])).count() as f64 / n;
                 pairs.push((rs[i], rs[j], f));
             }
         }
@@ -79,7 +78,12 @@ impl Fig8 {
         }
         s.push_str("Fig. 8(b) two-resource bottleneck fractions:\n");
         for (a, b, f) in &self.pairs {
-            s.push_str(&format!("  {:<8} ∧ {:<8} {:.2}%\n", a.to_string(), b.to_string(), f * 100.0));
+            s.push_str(&format!(
+                "  {:<8} ∧ {:<8} {:.2}%\n",
+                a.to_string(),
+                b.to_string(),
+                f * 100.0
+            ));
         }
         s
     }

@@ -107,11 +107,8 @@ impl Fig13 {
                 }
             })
             .collect();
-        let multi_hours: f64 = views
-            .iter()
-            .filter(|v| v.sched.gpus_requested > 1)
-            .map(|v| v.gpu_hours())
-            .sum();
+        let multi_hours: f64 =
+            views.iter().filter(|v| v.sched.gpus_requested > 1).map(|v| v.gpu_hours()).sum();
         let users = stats.len() as f64;
         Fig13 {
             rows,

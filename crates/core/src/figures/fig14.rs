@@ -36,8 +36,7 @@ impl Fig14 {
     ///
     /// Panics if there are no multi-GPU jobs.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
-        let multi: Vec<&GpuJobView> =
-            views.iter().filter(|v| v.per_gpu.len() > 1).collect();
+        let multi: Vec<&GpuJobView> = views.iter().filter(|v| v.per_gpu.len() > 1).collect();
         assert!(!multi.is_empty(), "need multi-GPU jobs");
         let mut sm_all = Vec::new();
         let mut mem_all = Vec::new();
@@ -68,9 +67,8 @@ impl Fig14 {
                 half_idle += 1;
             }
             // Active-only view.
-            let keep: Vec<usize> = (0..sm.len())
-                .filter(|&i| sm[i] >= IDLE_GPU_SM_THRESHOLD)
-                .collect();
+            let keep: Vec<usize> =
+                (0..sm.len()).filter(|&i| sm[i] >= IDLE_GPU_SM_THRESHOLD).collect();
             if keep.len() >= 2 {
                 let pick = |d: &[f64]| keep.iter().map(|&i| d[i]).collect::<Vec<f64>>();
                 if let Ok(c) = coefficient_of_variation(&pick(&sm)) {

@@ -70,7 +70,12 @@ impl Fig15 {
         use LifecycleClass::*;
         let dev_ide_hours = self.share(Development).hours_share + self.share(Ide).hours_share;
         vec![
-            Comparison::new("mature job share", paper::MATURE_JOB_SHARE, self.share(Mature).job_share, "frac"),
+            Comparison::new(
+                "mature job share",
+                paper::MATURE_JOB_SHARE,
+                self.share(Mature).job_share,
+                "frac",
+            ),
             Comparison::new(
                 "exploratory job share",
                 paper::EXPLORATORY_JOB_SHARE,
@@ -83,7 +88,12 @@ impl Fig15 {
                 self.share(Development).job_share,
                 "frac",
             ),
-            Comparison::new("IDE job share", paper::IDE_JOB_SHARE, self.share(Ide).job_share, "frac"),
+            Comparison::new(
+                "IDE job share",
+                paper::IDE_JOB_SHARE,
+                self.share(Ide).job_share,
+                "frac",
+            ),
             Comparison::new(
                 "mature GPU-hour share",
                 paper::MATURE_HOURS_SHARE,
@@ -96,8 +106,18 @@ impl Fig15 {
                 self.share(Exploratory).hours_share,
                 "frac",
             ),
-            Comparison::new("dev+IDE GPU-hour share", paper::DEV_IDE_HOURS_SHARE, dev_ide_hours, "frac"),
-            Comparison::new("IDE GPU-hour share", paper::IDE_HOURS_SHARE, self.share(Ide).hours_share, "frac"),
+            Comparison::new(
+                "dev+IDE GPU-hour share",
+                paper::DEV_IDE_HOURS_SHARE,
+                dev_ide_hours,
+                "frac",
+            ),
+            Comparison::new(
+                "IDE GPU-hour share",
+                paper::IDE_HOURS_SHARE,
+                self.share(Ide).hours_share,
+                "frac",
+            ),
             Comparison::new(
                 "median mature run time",
                 paper::MATURE_RUNTIME_MEDIAN_MIN,

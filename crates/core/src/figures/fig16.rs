@@ -36,11 +36,8 @@ impl Fig16 {
         let rows = LifecycleClass::ALL
             .iter()
             .map(|&class| {
-                let sm: Vec<f64> = views
-                    .iter()
-                    .filter(|v| v.class == class)
-                    .map(|v| v.agg.sm_util.mean)
-                    .collect();
+                let sm: Vec<f64> =
+                    views.iter().filter(|v| v.class == class).map(|v| v.agg.sm_util.mean).collect();
                 let mem: Vec<f64> = views
                     .iter()
                     .filter(|v| v.class == class)
@@ -75,7 +72,12 @@ impl Fig16 {
     pub fn comparisons(&self) -> Vec<Comparison> {
         use LifecycleClass::*;
         vec![
-            Comparison::new("mature median SM", paper::MATURE_SM_MEDIAN, self.row(Mature).sm.median, "%"),
+            Comparison::new(
+                "mature median SM",
+                paper::MATURE_SM_MEDIAN,
+                self.row(Mature).sm.median,
+                "%",
+            ),
             Comparison::new(
                 "exploratory median SM",
                 paper::EXPLORATORY_SM_MEDIAN,
@@ -96,11 +98,7 @@ impl Fig16 {
     /// Renders all three panels as text.
     pub fn render(&self) -> String {
         let mut s = String::from("Fig. 16 utilization by lifecycle class:\n");
-        for (panel, pick) in [
-            ("(a) SM", 0usize),
-            ("(b) memory", 1),
-            ("(c) memory size", 2),
-        ] {
+        for (panel, pick) in [("(a) SM", 0usize), ("(b) memory", 1), ("(c) memory size", 2)] {
             s.push_str(&format!("  {panel}:\n"));
             for r in &self.rows {
                 let b = match pick {
@@ -127,7 +125,11 @@ mod tests {
         let fig = Fig16::compute(&views);
         // "the median SM utilization of mature jobs, exploratory jobs,
         // development jobs, and IDE jobs is 21%, 15%, 0%, and 0%."
-        assert!(fig.row(Development).sm.median < 4.0, "dev median {}", fig.row(Development).sm.median);
+        assert!(
+            fig.row(Development).sm.median < 4.0,
+            "dev median {}",
+            fig.row(Development).sm.median
+        );
         assert!(fig.row(Ide).sm.median < 3.0, "IDE median {}", fig.row(Ide).sm.median);
         assert!(fig.row(Mature).sm.median > 8.0, "mature median {}", fig.row(Mature).sm.median);
     }

@@ -35,8 +35,7 @@ impl Fig17 {
         hour_mixes.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
         let n = stats.len() as f64;
         let below_40 = job_mixes.iter().filter(|m| m[0] < 0.40).count() as f64 / n;
-        let nonmature_60 =
-            hour_mixes.iter().filter(|m| (1.0 - m[0]) > 0.60).count() as f64 / n;
+        let nonmature_60 = hour_mixes.iter().filter(|m| (1.0 - m[0]) > 0.60).count() as f64 / n;
         Fig17 {
             job_mixes,
             hour_mixes,
@@ -120,7 +119,11 @@ mod tests {
         // Paper: >50% of users below 40% mature; we require a clear
         // plurality under small-sample noise.
         assert!(fig.users_mature_below_40 > 0.30, "{}", fig.users_mature_below_40);
-        assert!(fig.users_nonmature_hours_above_60 > 0.20, "{}", fig.users_nonmature_hours_above_60);
+        assert!(
+            fig.users_nonmature_hours_above_60 > 0.20,
+            "{}",
+            fig.users_nonmature_hours_above_60
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod pipeline;
 pub mod report;
 pub mod svg;
 pub mod userstats;
-pub mod workflow;
 pub mod view;
+pub mod workflow;
 
 pub use classify::{classify_exit, classify_record};
 pub use pipeline::{AnalysisReport, DatasetReport};

@@ -61,24 +61,62 @@ impl AnalysisReport {
     pub fn from_sim(out: &SimOutput) -> Self {
         let views = gpu_views(&out.dataset);
         let users = user_stats(&views);
+        // The 15 figure computations are independent of each other; fan
+        // them out over the sc-par thread budget. Each task writes its
+        // own slot, so no figure depends on task scheduling order.
+        let mut fig3 = None;
+        let mut fig4 = None;
+        let mut fig5 = None;
+        let mut fig6 = None;
+        let mut fig7 = None;
+        let mut fig8 = None;
+        let mut fig9 = None;
+        let mut fig10 = None;
+        let mut fig11 = None;
+        let mut fig12 = None;
+        let mut fig13 = None;
+        let mut fig14 = None;
+        let mut fig15 = None;
+        let mut fig16 = None;
+        let mut fig17 = None;
+        {
+            let (views, users, detailed) = (&views, &users, &out.detailed);
+            sc_par::run_tasks(vec![
+                Box::new(|| fig3 = Some(Fig3::compute(&out.dataset))),
+                Box::new(|| fig4 = Some(Fig4::compute(views))),
+                Box::new(|| fig5 = Some(Fig5::compute(views))),
+                Box::new(|| fig6 = Some(Fig6::compute(detailed))),
+                Box::new(|| fig7 = Some(Fig7::compute(detailed, views))),
+                Box::new(|| fig8 = Some(Fig8::compute(views))),
+                Box::new(|| fig9 = Some(Fig9::compute(views))),
+                Box::new(|| fig10 = Some(Fig10::compute(users))),
+                Box::new(|| fig11 = Some(Fig11::compute(users))),
+                Box::new(|| fig12 = Some(Fig12::compute(users))),
+                Box::new(|| fig13 = Some(Fig13::compute(views, users))),
+                Box::new(|| fig14 = Some(Fig14::compute(views))),
+                Box::new(|| fig15 = Some(Fig15::compute(views))),
+                Box::new(|| fig16 = Some(Fig16::compute(views))),
+                Box::new(|| fig17 = Some(Fig17::compute(users))),
+            ]);
+        }
         AnalysisReport {
             table1: ClusterSpec::supercloud().table1(),
             funnel: out.dataset.funnel(),
-            fig3: Fig3::compute(&out.dataset),
-            fig4: Fig4::compute(&views),
-            fig5: Fig5::compute(&views),
-            fig6: Fig6::compute(&out.detailed),
-            fig7: Fig7::compute(&out.detailed, &views),
-            fig8: Fig8::compute(&views),
-            fig9: Fig9::compute(&views),
-            fig10: Fig10::compute(&users),
-            fig11: Fig11::compute(&users),
-            fig12: Fig12::compute(&users),
-            fig13: Fig13::compute(&views, &users),
-            fig14: Fig14::compute(&views),
-            fig15: Fig15::compute(&views),
-            fig16: Fig16::compute(&views),
-            fig17: Fig17::compute(&users),
+            fig3: fig3.expect("computed"),
+            fig4: fig4.expect("computed"),
+            fig5: fig5.expect("computed"),
+            fig6: fig6.expect("computed"),
+            fig7: fig7.expect("computed"),
+            fig8: fig8.expect("computed"),
+            fig9: fig9.expect("computed"),
+            fig10: fig10.expect("computed"),
+            fig11: fig11.expect("computed"),
+            fig12: fig12.expect("computed"),
+            fig13: fig13.expect("computed"),
+            fig14: fig14.expect("computed"),
+            fig15: fig15.expect("computed"),
+            fig16: fig16.expect("computed"),
+            fig17: fig17.expect("computed"),
             users,
         }
     }
@@ -219,20 +257,53 @@ impl DatasetReport {
     pub fn from_dataset(dataset: &sc_telemetry::Dataset) -> Self {
         let views = gpu_views(dataset);
         let users = user_stats(&views);
+        // Same fan-out as `AnalysisReport::from_sim`, minus the two
+        // figures that need the detailed time-series subset.
+        let mut fig3 = None;
+        let mut fig4 = None;
+        let mut fig5 = None;
+        let mut fig8 = None;
+        let mut fig9 = None;
+        let mut fig10 = None;
+        let mut fig11 = None;
+        let mut fig12 = None;
+        let mut fig13 = None;
+        let mut fig14 = None;
+        let mut fig15 = None;
+        let mut fig16 = None;
+        let mut fig17 = None;
+        {
+            let (views, users) = (&views, &users);
+            sc_par::run_tasks(vec![
+                Box::new(|| fig3 = Some(Fig3::compute(dataset))),
+                Box::new(|| fig4 = Some(Fig4::compute(views))),
+                Box::new(|| fig5 = Some(Fig5::compute(views))),
+                Box::new(|| fig8 = Some(Fig8::compute(views))),
+                Box::new(|| fig9 = Some(Fig9::compute(views))),
+                Box::new(|| fig10 = Some(Fig10::compute(users))),
+                Box::new(|| fig11 = Some(Fig11::compute(users))),
+                Box::new(|| fig12 = Some(Fig12::compute(users))),
+                Box::new(|| fig13 = Some(Fig13::compute(views, users))),
+                Box::new(|| fig14 = Some(Fig14::compute(views))),
+                Box::new(|| fig15 = Some(Fig15::compute(views))),
+                Box::new(|| fig16 = Some(Fig16::compute(views))),
+                Box::new(|| fig17 = Some(Fig17::compute(users))),
+            ]);
+        }
         DatasetReport {
-            fig3: Fig3::compute(dataset),
-            fig4: Fig4::compute(&views),
-            fig5: Fig5::compute(&views),
-            fig8: Fig8::compute(&views),
-            fig9: Fig9::compute(&views),
-            fig10: Fig10::compute(&users),
-            fig11: Fig11::compute(&users),
-            fig12: Fig12::compute(&users),
-            fig13: Fig13::compute(&views, &users),
-            fig14: Fig14::compute(&views),
-            fig15: Fig15::compute(&views),
-            fig16: Fig16::compute(&views),
-            fig17: Fig17::compute(&users),
+            fig3: fig3.expect("computed"),
+            fig4: fig4.expect("computed"),
+            fig5: fig5.expect("computed"),
+            fig8: fig8.expect("computed"),
+            fig9: fig9.expect("computed"),
+            fig10: fig10.expect("computed"),
+            fig11: fig11.expect("computed"),
+            fig12: fig12.expect("computed"),
+            fig13: fig13.expect("computed"),
+            fig14: fig14.expect("computed"),
+            fig15: fig15.expect("computed"),
+            fig16: fig16.expect("computed"),
+            fig17: fig17.expect("computed"),
         }
     }
 

@@ -45,8 +45,7 @@ impl Comparison {
     /// One Markdown table row.
     pub fn markdown_row(&self) -> String {
         let ratio = self.ratio();
-        let ratio_s =
-            if ratio.is_nan() { "—".to_string() } else { format!("{ratio:.2}×") };
+        let ratio_s = if ratio.is_nan() { "—".to_string() } else { format!("{ratio:.2}×") };
         format!(
             "| {} | {:.3} {} | {:.3} {} | {} |",
             self.metric, self.paper, self.unit, self.measured, self.unit, ratio_s
@@ -56,7 +55,8 @@ impl Comparison {
 
 /// Renders a Markdown comparison table with a header.
 pub fn markdown_table(title: &str, rows: &[Comparison]) -> String {
-    let mut s = format!("### {title}\n\n| Metric | Paper | Measured | Ratio |\n|---|---|---|---|\n");
+    let mut s =
+        format!("### {title}\n\n| Metric | Paper | Measured | Ratio |\n|---|---|---|---|\n");
     for r in rows {
         s.push_str(&r.markdown_row());
         s.push('\n');
@@ -97,8 +97,7 @@ mod tests {
 
     #[test]
     fn markdown_rendering() {
-        let rows =
-            vec![Comparison::new("a", 1.0, 2.0, "s"), Comparison::new("b", 0.0, 0.0, "%")];
+        let rows = vec![Comparison::new("a", 1.0, 2.0, "s"), Comparison::new("b", 0.0, 0.0, "%")];
         let md = markdown_table("Fig. X", &rows);
         assert!(md.contains("### Fig. X"));
         assert!(md.contains("| a | 1.000 s | 2.000 s | 2.00× |"));

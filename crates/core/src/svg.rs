@@ -100,8 +100,7 @@ pub fn line_chart(
     x_scale: Scale,
     series: &[Series],
 ) -> String {
-    let pts: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     assert!(!pts.is_empty(), "line chart needs data");
     let min_pos = pts.iter().map(|p| p.0).filter(|x| *x > 0.0).fold(f64::INFINITY, f64::min);
     let tx = |x: f64| -> f64 {
@@ -450,12 +449,7 @@ pub fn write_report_svgs(
         bar_chart(
             "Fig. 7(b) — jobs bottlenecked per resource",
             "fraction of jobs",
-            &report
-                .fig7
-                .bottlenecks
-                .iter()
-                .map(|(r, f)| (r.to_string(), *f))
-                .collect::<Vec<_>>(),
+            &report.fig7.bottlenecks.iter().map(|(r, f)| (r.to_string(), *f)).collect::<Vec<_>>(),
         ),
     )?;
     save(
@@ -569,8 +563,7 @@ mod tests {
 
     #[test]
     fn box_chart_orders_glyphs() {
-        let boxes =
-            vec![("mature".to_string(), (1.0, 10.0, 21.0, 45.0, 90.0))];
+        let boxes = vec![("mature".to_string(), (1.0, 10.0, 21.0, 45.0, 90.0))];
         let svg = box_chart("t", "y", &boxes);
         is_well_formed(&svg);
         assert!(svg.contains("mature"));

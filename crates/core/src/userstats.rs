@@ -43,59 +43,65 @@ pub struct UserStats {
 }
 
 /// Computes per-user statistics from the job views, ordered by user id.
+///
+/// Per-user reductions are independent, so they run on the `sc-par`
+/// thread budget; the `BTreeMap` grouping fixes the user order before
+/// the parallel stage, keeping the output identical at any thread
+/// count.
 pub fn user_stats(views: &[GpuJobView<'_>]) -> Vec<UserStats> {
-    let by_user = views_by_user(views);
-    let mut out = Vec::with_capacity(by_user.len());
-    for (user, jobs) in by_user {
-        let n = jobs.len() as f64;
-        let runtimes: Vec<f64> = jobs.iter().map(|v| v.run_minutes()).collect();
-        let sm: Vec<f64> = jobs.iter().map(|v| v.agg.sm_util.mean).collect();
-        let mem: Vec<f64> = jobs.iter().map(|v| v.agg.mem_util.mean).collect();
-        let msz: Vec<f64> = jobs.iter().map(|v| v.agg.mem_size_util.mean).collect();
-        let cov = |data: &[f64]| {
-            if data.len() < 2 {
-                None
-            } else {
-                coefficient_of_variation(data).ok()
-            }
-        };
-        let mut class_jobs = [0.0; 4];
-        let mut class_hours = [0.0; 4];
-        let mut gpu_hours = 0.0;
-        let mut max_gpus = 0;
-        for v in &jobs {
-            let idx = LifecycleClass::ALL.iter().position(|c| *c == v.class).expect("known");
-            class_jobs[idx] += 1.0;
-            class_hours[idx] += v.gpu_hours();
-            gpu_hours += v.gpu_hours();
-            max_gpus = max_gpus.max(v.sched.gpus_requested);
+    let groups: Vec<_> = views_by_user(views).into_iter().collect();
+    sc_par::par_map(&groups, |(user, jobs)| user_stats_for(*user, jobs))
+}
+
+/// One user's reduction (the `par_map` work item).
+fn user_stats_for(user: UserId, jobs: &[&GpuJobView<'_>]) -> UserStats {
+    let n = jobs.len() as f64;
+    let runtimes: Vec<f64> = jobs.iter().map(|v| v.run_minutes()).collect();
+    let sm: Vec<f64> = jobs.iter().map(|v| v.agg.sm_util.mean).collect();
+    let mem: Vec<f64> = jobs.iter().map(|v| v.agg.mem_util.mean).collect();
+    let msz: Vec<f64> = jobs.iter().map(|v| v.agg.mem_size_util.mean).collect();
+    let cov = |data: &[f64]| {
+        if data.len() < 2 {
+            None
+        } else {
+            coefficient_of_variation(data).ok()
         }
-        for c in &mut class_jobs {
-            *c /= n;
-        }
-        if gpu_hours > 0.0 {
-            for c in &mut class_hours {
-                *c /= gpu_hours;
-            }
-        }
-        out.push(UserStats {
-            user,
-            jobs: jobs.len(),
-            gpu_hours,
-            max_gpus,
-            avg_runtime_min: runtimes.iter().sum::<f64>() / n,
-            avg_sm: sm.iter().sum::<f64>() / n,
-            avg_mem: mem.iter().sum::<f64>() / n,
-            avg_mem_size: msz.iter().sum::<f64>() / n,
-            cov_runtime: cov(&runtimes),
-            cov_sm: cov(&sm),
-            cov_mem: cov(&mem),
-            cov_mem_size: cov(&msz),
-            class_job_mix: class_jobs,
-            class_hours_mix: class_hours,
-        });
+    };
+    let mut class_jobs = [0.0; 4];
+    let mut class_hours = [0.0; 4];
+    let mut gpu_hours = 0.0;
+    let mut max_gpus = 0;
+    for v in jobs {
+        let idx = LifecycleClass::ALL.iter().position(|c| *c == v.class).expect("known");
+        class_jobs[idx] += 1.0;
+        class_hours[idx] += v.gpu_hours();
+        gpu_hours += v.gpu_hours();
+        max_gpus = max_gpus.max(v.sched.gpus_requested);
     }
-    out
+    for c in &mut class_jobs {
+        *c /= n;
+    }
+    if gpu_hours > 0.0 {
+        for c in &mut class_hours {
+            *c /= gpu_hours;
+        }
+    }
+    UserStats {
+        user,
+        jobs: jobs.len(),
+        gpu_hours,
+        max_gpus,
+        avg_runtime_min: runtimes.iter().sum::<f64>() / n,
+        avg_sm: sm.iter().sum::<f64>() / n,
+        avg_mem: mem.iter().sum::<f64>() / n,
+        avg_mem_size: msz.iter().sum::<f64>() / n,
+        cov_runtime: cov(&runtimes),
+        cov_sm: cov(&sm),
+        cov_mem: cov(&mem),
+        cov_mem_size: cov(&msz),
+        class_job_mix: class_jobs,
+        class_hours_mix: class_hours,
+    }
 }
 
 #[cfg(test)]

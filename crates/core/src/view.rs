@@ -34,20 +34,23 @@ impl GpuJobView<'_> {
 }
 
 /// Builds the view of every analyzed GPU job (post-filter, telemetry
-/// present).
+/// present). Per-record work (job-level aggregation, classification)
+/// runs on the `sc-par` thread budget; record order is preserved, so
+/// the result is identical at any thread count.
 pub fn gpu_views(dataset: &Dataset) -> Vec<GpuJobView<'_>> {
-    dataset
-        .gpu_jobs()
-        .filter_map(|r| {
-            let gpu = r.gpu.as_ref()?;
-            Some(GpuJobView {
-                sched: &r.sched,
-                agg: gpu.job_level(),
-                per_gpu: &gpu.per_gpu,
-                class: classify_record(&r.sched),
-            })
+    let records: Vec<_> = dataset.gpu_jobs().collect();
+    sc_par::par_map(&records, |r| {
+        let gpu = r.gpu.as_ref()?;
+        Some(GpuJobView {
+            sched: &r.sched,
+            agg: gpu.job_level(),
+            per_gpu: &gpu.per_gpu,
+            class: classify_record(&r.sched),
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Groups GPU-job views by user, ordered by user id for determinism.

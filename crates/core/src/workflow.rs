@@ -98,8 +98,7 @@ impl WorkflowChain {
             for n in &mut next {
                 *n /= norm;
             }
-            let delta: f64 =
-                next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
             v = next;
             if delta < 1e-12 {
                 break;
@@ -146,10 +145,8 @@ mod tests {
         let chain = WorkflowChain::fit(&views);
         assert!(chain.users > 5);
         for &from in &LifecycleClass::ALL {
-            let total: f64 = LifecycleClass::ALL
-                .iter()
-                .filter_map(|&to| chain.probability(from, to))
-                .sum();
+            let total: f64 =
+                LifecycleClass::ALL.iter().filter_map(|&to| chain.probability(from, to)).sum();
             assert!(total == 0.0 || (total - 1.0).abs() < 1e-9, "row sums to {total}");
         }
     }
@@ -175,11 +172,7 @@ mod tests {
         let total = views.len() as f64;
         for (i, &class) in LifecycleClass::ALL.iter().enumerate() {
             let share = views.iter().filter(|v| v.class == class).count() as f64 / total;
-            assert!(
-                (st[i] - share).abs() < 0.12,
-                "{class}: stationary {} vs share {share}",
-                st[i]
-            );
+            assert!((st[i] - share).abs() < 0.12, "{class}: stationary {} vs share {share}", st[i]);
         }
     }
 

@@ -145,8 +145,7 @@ pub fn simulate_pair(
     PairOutcome {
         slowdown_a: end_a / duration_a,
         slowdown_b: end_b / duration_b,
-        packing_gain: ((duration_a + duration_b - makespan) / (duration_a + duration_b))
-            .max(0.0),
+        packing_gain: ((duration_a + duration_b - makespan) / (duration_a + duration_b)).max(0.0),
     }
 }
 
@@ -214,8 +213,7 @@ pub fn simulate_time_shared_pair(
     PairOutcome {
         slowdown_a: end_a / duration_a,
         slowdown_b: end_b / duration_b,
-        packing_gain: ((duration_a + duration_b - makespan) / (duration_a + duration_b))
-            .max(0.0),
+        packing_gain: ((duration_a + duration_b - makespan) / (duration_a + duration_b)).max(0.0),
     }
 }
 
@@ -250,10 +248,7 @@ pub fn evaluate_policy(candidates: &[Candidate], policy: PairingPolicy) -> Coloc
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     if policy == PairingPolicy::UtilizationAware {
         order.sort_by(|&x, &y| {
-            candidates[x]
-                .mean_sm
-                .partial_cmp(&candidates[y].mean_sm)
-                .expect("finite utilization")
+            candidates[x].mean_sm.partial_cmp(&candidates[y].mean_sm).expect("finite utilization")
         });
     }
     // Pair extremes for utilization-aware (low with high); adjacent for
@@ -300,8 +295,7 @@ pub fn evaluate_policy(candidates: &[Candidate], policy: PairingPolicy) -> Coloc
     // Exclusive: 2 GPUs for max(t_a, t_b) wall time finish the pair.
     // Shared: 1 GPU for the (stretched) makespan. Throughput ∝ jobs /
     // GPU-time.
-    let relative_throughput =
-        (2.0 * gpu_seconds_exclusive) / gpu_seconds_shared.max(1e-9);
+    let relative_throughput = (2.0 * gpu_seconds_exclusive) / gpu_seconds_shared.max(1e-9);
     ColocationResult {
         policy,
         pairs: pairs.len(),
@@ -416,7 +410,8 @@ mod tests {
 
     #[test]
     fn exclusive_baseline_is_identity() {
-        let candidates = vec![Candidate { truth: truth(9, 10.0, 0.5, 600.0), duration: 500.0, mean_sm: 10.0 }];
+        let candidates =
+            vec![Candidate { truth: truth(9, 10.0, 0.5, 600.0), duration: 500.0, mean_sm: 10.0 }];
         let r = evaluate_policy(&candidates, PairingPolicy::Exclusive);
         assert_eq!(r.mean_slowdown, 1.0);
         assert_eq!(r.relative_throughput, 1.0);
@@ -433,11 +428,7 @@ mod tests {
             });
         }
         let fifo = evaluate_policy(&candidates, PairingPolicy::Fifo);
-        assert!(
-            fifo.relative_throughput > 1.2,
-            "throughput {}",
-            fifo.relative_throughput
-        );
+        assert!(fifo.relative_throughput > 1.2, "throughput {}", fifo.relative_throughput);
         assert!(fifo.mean_slowdown < 1.2);
     }
 }

@@ -114,8 +114,7 @@ impl OpportunityReport {
         let slow_tier = Tier { speed: 0.5, cost: 0.35 };
         let tiering = tiering::evaluate(views, slow_tier);
 
-        let checkpoint =
-            checkpoint::sweep(views, &[300.0, 900.0, 1_800.0, 3_600.0, 7_200.0], 30.0);
+        let checkpoint = checkpoint::sweep(views, &[300.0, 900.0, 1_800.0, 3_600.0, 7_200.0], 30.0);
 
         let mig_config = mig::MigConfig::default();
         let mig = mig::evaluate(views, mig_config);
@@ -263,13 +262,7 @@ mod tests {
         let views = sc_core::gpu_views(&sim().dataset);
         let report = OpportunityReport::run(&views, 10);
         let get = |p: prediction::Predictor| {
-            report
-                .prediction
-                .runtime
-                .iter()
-                .find(|s| s.predictor == p)
-                .expect("scored")
-                .within_2x
+            report.prediction.runtime.iter().find(|s| s.predictor == p).expect("scored").within_2x
         };
         let user = get(prediction::Predictor::UserMean);
         let global = get(prediction::Predictor::GlobalMedian);
@@ -278,12 +271,8 @@ mod tests {
             "user-mean {user} vs global-median {global}: history too informative"
         );
         // And nothing is actually *good*: median APE stays large.
-        let ape = report
-            .prediction
-            .runtime
-            .iter()
-            .map(|s| s.median_ape)
-            .fold(f64::INFINITY, f64::min);
+        let ape =
+            report.prediction.runtime.iter().map(|s| s.median_ape).fold(f64::INFINITY, f64::min);
         assert!(ape > 0.3, "best median APE {ape} — predictability too high");
     }
 
@@ -296,10 +285,6 @@ mod tests {
             .iter()
             .find(|r| r.policy == PairingPolicy::UtilizationAware)
             .expect("policy present");
-        assert!(
-            aware.relative_throughput > 1.0,
-            "throughput {}",
-            aware.relative_throughput
-        );
+        assert!(aware.relative_throughput > 1.0, "throughput {}", aware.relative_throughput);
     }
 }

@@ -88,8 +88,7 @@ impl OverProvisionStudy {
                 slowdowns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 let impacted =
                     slowdowns.iter().filter(|s| **s > 1.0).count() as f64 / slowdowns.len() as f64;
-                let mean_slowdown =
-                    slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+                let mean_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
                 let p99 = slowdowns[((slowdowns.len() - 1) as f64 * 0.99) as usize];
                 let gpus_supported = (facility_budget_w / cap_w.min(gpu_tdp_w)).floor() as u32;
                 CapOutcome {

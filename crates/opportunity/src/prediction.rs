@@ -80,9 +80,7 @@ fn score<F: Fn(&GpuJobView) -> f64>(
         let truth = value(v).max(1e-9);
         let prediction = match predictor {
             Predictor::LastValue => last.get(&v.sched.user).copied(),
-            Predictor::UserMean => {
-                sums.get(&v.sched.user).map(|(s, c)| s / *c as f64)
-            }
+            Predictor::UserMean => sums.get(&v.sched.user).map(|(s, c)| s / *c as f64),
             Predictor::GlobalMedian => {
                 // `global` is kept sorted by insertion below.
                 if global.is_empty() {
@@ -123,14 +121,8 @@ fn score<F: Fn(&GpuJobView) -> f64>(
 /// Panics if `views` is empty.
 pub fn evaluate(views: &[GpuJobView<'_>]) -> PredictionStudy {
     assert!(!views.is_empty(), "need jobs");
-    let runtime = Predictor::ALL
-        .iter()
-        .map(|&p| score(views, |v| v.sched.run_time(), p))
-        .collect();
-    let sm_util = Predictor::ALL
-        .iter()
-        .map(|&p| score(views, |v| v.agg.sm_util.mean, p))
-        .collect();
+    let runtime = Predictor::ALL.iter().map(|&p| score(views, |v| v.sched.run_time(), p)).collect();
+    let sm_util = Predictor::ALL.iter().map(|&p| score(views, |v| v.agg.sm_util.mean, p)).collect();
     PredictionStudy { runtime, sm_util }
 }
 

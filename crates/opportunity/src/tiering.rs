@@ -123,13 +123,9 @@ pub fn evaluate(views: &[GpuJobView<'_>], slow: Tier) -> Vec<TierOutcome> {
                     slow_hours += v.gpu_hours() * sd;
                 }
             }
-            let fast_hours: f64 = views
-                .iter()
-                .filter(|v| !policy.demotes(v.class))
-                .map(|v| v.gpu_hours())
-                .sum();
-            let relative_cost =
-                (fast_hours * 1.0 + slow_hours * slow.cost) / total_hours.max(1e-9);
+            let fast_hours: f64 =
+                views.iter().filter(|v| !policy.demotes(v.class)).map(|v| v.gpu_hours()).sum();
+            let relative_cost = (fast_hours * 1.0 + slow_hours * slow.cost) / total_hours.max(1e-9);
             let demoted_mean = if demoted_slow.is_empty() {
                 1.0
             } else {

@@ -1,0 +1,177 @@
+//! Deterministic data-parallel primitives for the reproduction
+//! pipeline.
+//!
+//! Everything here obeys one rule, stated in `DESIGN.md`: **parallelism
+//! must never change results**. Work is distributed dynamically across
+//! threads, but results are merged back in input order, so the output
+//! of every helper is a pure function of its inputs — byte-identical
+//! whether run on 1 thread or 64.
+//!
+//! The thread budget is a process-wide setting ([`set_max_threads`]),
+//! defaulting to the machine's available parallelism. Helpers fall back
+//! to plain sequential execution when the budget is 1 or the input is
+//! trivially small, so single-threaded runs pay no synchronization
+//! cost.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Sentinel meaning "not configured yet" (resolve to the hardware).
+const UNSET: usize = 0;
+
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Sets the process-wide thread budget for all `sc-par` helpers.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn set_max_threads(n: usize) {
+    assert!(n > 0, "thread budget must be at least 1");
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current thread budget: the value of the last
+/// [`set_max_threads`] call, or the machine's available parallelism if
+/// never configured.
+pub fn current_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        UNSET => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Inputs below this size run sequentially regardless of the budget —
+/// thread startup costs more than the work.
+const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Items are claimed dynamically (an atomic cursor, not static chunks),
+/// so uneven item costs balance across threads; each result lands in
+/// its item's slot, so the returned `Vec` is identical to
+/// `items.iter().map(f).collect()` for any thread count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = current_threads().min(items.len());
+    if threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (cursor, f) = (&cursor, &f);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        slots.into_iter().map(|r| r.expect("every index is claimed exactly once")).collect()
+    })
+}
+
+/// Runs heterogeneous one-shot tasks on the thread budget.
+///
+/// Tasks communicate results by capturing their own output slot
+/// (`&mut Option<T>`), which keeps this free of `Any`-casting while
+/// still bounding concurrency — unlike spawning one thread per task.
+/// Execution order is unspecified; completion is awaited for all tasks.
+pub fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let threads = current_threads().min(tasks.len());
+    if threads <= 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+
+    let queue = Mutex::new(tasks.into_iter());
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            scope.spawn(move || loop {
+                let task = queue.lock().expect("task queue poisoned").next();
+                match task {
+                    Some(task) => task(),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-wide thread budget.
+    static BUDGET_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        let expected: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        assert_eq!(par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_any_budget() {
+        let items: Vec<u64> = (0..257).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(0x9e37)).collect();
+        let _guard = BUDGET_LOCK.lock().unwrap();
+        let saved = current_threads();
+        for budget in [1, 2, 3, 8] {
+            set_max_threads(budget);
+            assert_eq!(par_map(&items, |&x| x.wrapping_mul(0x9e37)), sequential);
+        }
+        set_max_threads(saved);
+    }
+
+    #[test]
+    fn run_tasks_completes_all_tasks() {
+        let mut a = None;
+        let mut b = None;
+        let mut c = None;
+        run_tasks(vec![
+            Box::new(|| a = Some(1)),
+            Box::new(|| b = Some("two")),
+            Box::new(|| c = Some(3.0)),
+        ]);
+        assert_eq!((a, b, c), (Some(1), Some("two"), Some(3.0)));
+    }
+
+    #[test]
+    fn thread_budget_round_trips() {
+        let _guard = BUDGET_LOCK.lock().unwrap();
+        let saved = current_threads();
+        set_max_threads(5);
+        assert_eq!(current_threads(), 5);
+        set_max_threads(saved);
+    }
+}

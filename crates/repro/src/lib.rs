@@ -20,6 +20,7 @@
 pub use sc_cluster as cluster;
 pub use sc_core as core;
 pub use sc_opportunity as opportunity;
+pub use sc_par as par;
 pub use sc_stats as stats;
 pub use sc_telemetry as telemetry;
 pub use sc_workload as workload;

@@ -31,9 +31,7 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> Result<f64, StatsError> {
     if var == 0.0 {
         return Ok(0.0);
     }
-    let cov: f64 = (0..n - lag)
-        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
-        .sum();
+    let cov: f64 = (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
     Ok(cov / var)
 }
 
@@ -106,8 +104,7 @@ mod tests {
     #[test]
     fn square_wave_decorrelates_near_half_period() {
         // Period 40 (20 high, 20 low): ACF crosses 1/e before lag 20.
-        let s: Vec<f64> =
-            (0..2000).map(|i| if (i / 20) % 2 == 0 { 80.0 } else { 0.0 }).collect();
+        let s: Vec<f64> = (0..2000).map(|i| if (i / 20) % 2 == 0 { 80.0 } else { 0.0 }).collect();
         let lag = decorrelation_lag(&s, 1.0 / std::f64::consts::E, 100).unwrap().unwrap();
         assert!((5..=20).contains(&lag), "decorrelation lag {lag}");
     }

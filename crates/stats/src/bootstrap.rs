@@ -122,8 +122,8 @@ mod tests {
         let mut rng = <StdRng as SeedableRng>::seed_from_u64(9);
         let d = LogNormal::new(30.0f64.ln(), 1.0).unwrap();
         let data = d.sample_n(&mut rng, 800);
-        let ci = bootstrap_ci(&data, |s| crate::percentile(s, 50.0).unwrap(), 400, 0.95, 2)
-            .unwrap();
+        let ci =
+            bootstrap_ci(&data, |s| crate::percentile(s, 50.0).unwrap(), 400, 0.95, 2).unwrap();
         assert!(ci.contains(30.0), "95% CI [{}, {}] misses 30", ci.lo, ci.hi);
     }
 
@@ -141,12 +141,10 @@ mod tests {
     fn width_shrinks_with_sample_size() {
         let small: Vec<f64> = (0..40).map(|i| (i % 17) as f64).collect();
         let large: Vec<f64> = (0..4000).map(|i| (i % 17) as f64).collect();
-        let ws = bootstrap_ci(&small, |s| crate::mean(s).unwrap(), 200, 0.95, 5)
-            .unwrap()
-            .half_width();
-        let wl = bootstrap_ci(&large, |s| crate::mean(s).unwrap(), 200, 0.95, 5)
-            .unwrap()
-            .half_width();
+        let ws =
+            bootstrap_ci(&small, |s| crate::mean(s).unwrap(), 200, 0.95, 5).unwrap().half_width();
+        let wl =
+            bootstrap_ci(&large, |s| crate::mean(s).unwrap(), 200, 0.95, 5).unwrap().half_width();
         assert!(wl < ws, "large-sample width {wl} vs small {ws}");
     }
 

@@ -63,12 +63,8 @@ impl BoxStats {
         // fence, but never retreating inside the box — if every point
         // beyond a quartile is an outlier, the whisker collapses onto
         // the box edge (interpolated quartiles need not be data points).
-        let whisker_low = sorted
-            .iter()
-            .copied()
-            .find(|v| *v >= lo_fence)
-            .unwrap_or(sorted[0])
-            .min(q1);
+        let whisker_low =
+            sorted.iter().copied().find(|v| *v >= lo_fence).unwrap_or(sorted[0]).min(q1);
         let whisker_high = sorted
             .iter()
             .rev()
@@ -76,20 +72,8 @@ impl BoxStats {
             .find(|v| *v <= hi_fence)
             .unwrap_or(*sorted.last().expect("non-empty"))
             .max(q3);
-        let outliers = sorted
-            .iter()
-            .copied()
-            .filter(|v| *v < lo_fence || *v > hi_fence)
-            .collect();
-        Ok(BoxStats {
-            count: sorted.len(),
-            whisker_low,
-            q1,
-            median,
-            q3,
-            whisker_high,
-            outliers,
-        })
+        let outliers = sorted.iter().copied().filter(|v| *v < lo_fence || *v > hi_fence).collect();
+        Ok(BoxStats { count: sorted.len(), whisker_low, q1, median, q3, whisker_high, outliers })
     }
 
     /// Interquartile range.

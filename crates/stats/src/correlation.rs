@@ -313,10 +313,7 @@ mod tests {
 
     #[test]
     fn errors_on_mismatched_or_short_input() {
-        assert!(matches!(
-            spearman(&[1.0, 2.0], &[1.0]),
-            Err(StatsError::LengthMismatch { .. })
-        ));
+        assert!(matches!(spearman(&[1.0, 2.0], &[1.0]), Err(StatsError::LengthMismatch { .. })));
         assert!(matches!(
             spearman(&[1.0, 2.0], &[1.0, 2.0]),
             Err(StatsError::InsufficientData { .. })

@@ -219,14 +219,8 @@ mod tests {
 
     #[test]
     fn percentile_rejects_out_of_range_p() {
-        assert!(matches!(
-            percentile(&[1.0], 101.0),
-            Err(StatsError::InvalidProbability { .. })
-        ));
-        assert!(matches!(
-            percentile(&[1.0], -0.1),
-            Err(StatsError::InvalidProbability { .. })
-        ));
+        assert!(matches!(percentile(&[1.0], 101.0), Err(StatsError::InvalidProbability { .. })));
+        assert!(matches!(percentile(&[1.0], -0.1), Err(StatsError::InvalidProbability { .. })));
     }
 
     #[test]

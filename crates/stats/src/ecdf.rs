@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn try_quantile_rejects_bad_q() {
         let cdf = Ecdf::new(vec![1.0]).unwrap();
-        assert!(matches!(
-            cdf.try_quantile(1.5),
-            Err(StatsError::InvalidProbability { .. })
-        ));
+        assert!(matches!(cdf.try_quantile(1.5), Err(StatsError::InvalidProbability { .. })));
     }
 
     #[test]

@@ -112,14 +112,8 @@ mod tests {
     #[test]
     fn ensure_sample_rejects_empty_and_nan() {
         assert_eq!(ensure_sample(&[]), Err(StatsError::EmptyInput));
-        assert_eq!(
-            ensure_sample(&[1.0, f64::NAN]),
-            Err(StatsError::NonFinite { index: 1 })
-        );
-        assert_eq!(
-            ensure_sample(&[f64::INFINITY]),
-            Err(StatsError::NonFinite { index: 0 })
-        );
+        assert_eq!(ensure_sample(&[1.0, f64::NAN]), Err(StatsError::NonFinite { index: 1 }));
+        assert_eq!(ensure_sample(&[f64::INFINITY]), Err(StatsError::NonFinite { index: 0 }));
         assert!(ensure_sample(&[0.0, -1.0, 2.5]).is_ok());
     }
 }

@@ -41,9 +41,7 @@ impl Histogram {
         if lo >= hi {
             return Err(StatsError::InvalidParameter { name: "lo", value: lo });
         }
-        let edges: Vec<f64> = (0..=bins)
-            .map(|i| lo + (hi - lo) * i as f64 / bins as f64)
-            .collect();
+        let edges: Vec<f64> = (0..=bins).map(|i| lo + (hi - lo) * i as f64 / bins as f64).collect();
         Ok(Self::from_edges_unchecked(data, edges))
     }
 
@@ -67,9 +65,8 @@ impl Histogram {
             return Err(StatsError::InvalidParameter { name: "hi", value: hi });
         }
         let (llo, lhi) = (lo.ln(), hi.ln());
-        let edges: Vec<f64> = (0..=bins)
-            .map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp())
-            .collect();
+        let edges: Vec<f64> =
+            (0..=bins).map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp()).collect();
         Ok(Self::from_edges_unchecked(data, edges))
     }
 
@@ -131,10 +128,7 @@ impl Histogram {
 
     /// Iterator of `(bin_center, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.edges
-            .windows(2)
-            .zip(&self.counts)
-            .map(|(w, &c)| ((w[0] + w[1]) / 2.0, c))
+        self.edges.windows(2).zip(&self.counts).map(|(w, &c)| ((w[0] + w[1]) / 2.0, c))
     }
 }
 

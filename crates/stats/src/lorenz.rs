@@ -66,10 +66,7 @@ impl Lorenz {
     ///
     /// Panics if `fraction` is not within `(0, 1]`.
     pub fn top_share(&self, fraction: f64) -> f64 {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "fraction must be in (0, 1], got {fraction}"
-        );
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1], got {fraction}");
         let k = ((self.sorted_desc.len() as f64 * fraction).ceil() as usize)
             .clamp(1, self.sorted_desc.len());
         self.sorted_desc[..k].iter().sum::<f64>() / self.total

@@ -63,22 +63,14 @@ impl Segmentation {
         if self.samples == 0 {
             return 0.0;
         }
-        let active: usize = self
-            .intervals
-            .iter()
-            .filter(|i| i.kind == IntervalKind::Active)
-            .map(|i| i.len)
-            .sum();
+        let active: usize =
+            self.intervals.iter().filter(|i| i.kind == IntervalKind::Active).map(|i| i.len).sum();
         active as f64 / self.samples as f64
     }
 
     /// Lengths (in samples) of intervals of the given kind.
     pub fn lengths_of(&self, kind: IntervalKind) -> Vec<f64> {
-        self.intervals
-            .iter()
-            .filter(|i| i.kind == kind)
-            .map(|i| i.len as f64)
-            .collect()
+        self.intervals.iter().filter(|i| i.kind == kind).map(|i| i.len as f64).collect()
     }
 
     /// Coefficient of variation (percent) of interval lengths of one kind

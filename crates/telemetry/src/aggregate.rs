@@ -209,8 +209,10 @@ mod tests {
 
     #[test]
     fn gpu_aggregates_fold_all_fields() {
-        let s1 = GpuMetricSample { sm_util: 10.0, mem_util: 5.0, power_w: 100.0, ..Default::default() };
-        let s2 = GpuMetricSample { sm_util: 30.0, mem_util: 15.0, power_w: 200.0, ..Default::default() };
+        let s1 =
+            GpuMetricSample { sm_util: 10.0, mem_util: 5.0, power_w: 100.0, ..Default::default() };
+        let s2 =
+            GpuMetricSample { sm_util: 30.0, mem_util: 15.0, power_w: 200.0, ..Default::default() };
         let a = GpuAggregates::from_samples(&[s1, s2]);
         assert_eq!(a.sm_util.mean, 20.0);
         assert_eq!(a.mem_util.max, 15.0);
@@ -220,14 +222,10 @@ mod tests {
 
     #[test]
     fn average_of_two_gpus() {
-        let g1 = GpuAggregates::from_samples(&[GpuMetricSample {
-            sm_util: 80.0,
-            ..Default::default()
-        }]);
-        let g2 = GpuAggregates::from_samples(&[GpuMetricSample {
-            sm_util: 0.0,
-            ..Default::default()
-        }]);
+        let g1 =
+            GpuAggregates::from_samples(&[GpuMetricSample { sm_util: 80.0, ..Default::default() }]);
+        let g2 =
+            GpuAggregates::from_samples(&[GpuMetricSample { sm_util: 0.0, ..Default::default() }]);
         let job = GpuAggregates::average_of(&[g1, g2]);
         assert_eq!(job.sm_util.mean, 40.0);
         assert_eq!(job.sm_util.count, 2);

@@ -16,8 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Monitoring configuration applied by the prolog.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MonitorConfig {
     /// GPU sampler (production default: 100 ms).
     pub gpu_sampler: GpuSampler,
@@ -28,7 +27,6 @@ pub struct MonitorConfig {
     /// just the streaming aggregates.
     pub retain_series: bool,
 }
-
 
 /// What the epilog ships back to the central file system for one job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

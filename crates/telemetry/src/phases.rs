@@ -131,7 +131,12 @@ mod tests {
             period_secs: 0.1,
             per_gpu: vec![sm
                 .iter()
-                .map(|&v| GpuMetricSample { sm_util: v, mem_util: v / 2.0, mem_size_util: v / 4.0, ..Default::default() })
+                .map(|&v| GpuMetricSample {
+                    sm_util: v,
+                    mem_util: v / 2.0,
+                    mem_size_util: v / 4.0,
+                    ..Default::default()
+                })
                 .collect()],
         }
     }

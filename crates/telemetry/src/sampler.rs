@@ -59,9 +59,7 @@ impl GpuTimeSeries {
         }
         let n = self.len();
         let g = self.per_gpu.len() as f64;
-        (0..n)
-            .map(|k| self.per_gpu.iter().map(|gpu| f(&gpu[k])).sum::<f64>() / g)
-            .collect()
+        (0..n).map(|k| self.per_gpu.iter().map(|gpu| f(&gpu[k])).sum::<f64>() / g).collect()
     }
 }
 
@@ -113,9 +111,23 @@ impl GpuSampler {
         let n = self.sample_count(duration_secs);
         let per_gpu = (0..source.gpu_count())
             .map(|g| {
-                (0..n)
-                    .map(|k| source.gpu_state(g, k as f64 * self.period_secs))
-                    .collect()
+                let mut samples = Vec::with_capacity(n);
+                let mut k = 0;
+                while k < n {
+                    let t = k as f64 * self.period_secs;
+                    let sample = source.gpu_state(g, t);
+                    samples.push(sample);
+                    k += 1;
+                    // Constant-span fast path: reuse the sample for
+                    // every tick the source guarantees is identical.
+                    if let Some(end) = source.gpu_constant_until(g, t) {
+                        while k < n && (k as f64) * self.period_secs < end {
+                            samples.push(sample);
+                            k += 1;
+                        }
+                    }
+                }
+                samples
             })
             .collect();
         GpuTimeSeries { period_secs: self.period_secs, per_gpu }
@@ -135,8 +147,22 @@ impl GpuSampler {
         (0..source.gpu_count())
             .map(|g| {
                 let mut agg = GpuAggregates::new();
-                for k in 0..n {
-                    agg.update(&source.gpu_state(g, k as f64 * self.period_secs));
+                let mut k = 0;
+                while k < n {
+                    let t = k as f64 * self.period_secs;
+                    let sample = source.gpu_state(g, t);
+                    agg.update(&sample);
+                    k += 1;
+                    // Constant-span fast path. The repeated sample is
+                    // still folded through the same update loop, so the
+                    // aggregates are bit-identical to the slow path —
+                    // only the `gpu_state` calls are skipped.
+                    if let Some(end) = source.gpu_constant_until(g, t) {
+                        while k < n && (k as f64) * self.period_secs < end {
+                            agg.update(&sample);
+                            k += 1;
+                        }
+                    }
                 }
                 agg
             })
@@ -144,10 +170,7 @@ impl GpuSampler {
     }
 
     fn sample_count(&self, duration_secs: f64) -> usize {
-        if duration_secs <= 0.0 {
-            return 0;
-        }
-        (duration_secs / self.period_secs).ceil() as usize
+        tick_count(duration_secs, self.period_secs)
     }
 }
 
@@ -181,12 +204,31 @@ impl CpuSampler {
         source: &S,
         duration_secs: f64,
     ) -> Vec<CpuMetricSample> {
-        if duration_secs <= 0.0 {
-            return Vec::new();
-        }
-        let n = (duration_secs / self.period_secs).ceil() as usize;
+        let n = tick_count(duration_secs, self.period_secs);
         (0..n).map(|k| source.cpu_state(k as f64 * self.period_secs)).collect()
     }
+}
+
+/// Number of ticks `k` (from 0) with `k * period < duration` — the
+/// samples a poller started with the job and killed by the epilog takes.
+///
+/// `ceil(duration / period)` alone overshoots when the float quotient of
+/// an exact tick multiple lands just above the integer (e.g. a duration
+/// computed as `3.0 * 0.1` divided by `0.1` gives 3.0000000000000004,
+/// whose ceil would schedule a 4th sample *at* the kill instant), so the
+/// result is corrected against the defining inequality.
+fn tick_count(duration_secs: f64, period_secs: f64) -> usize {
+    if duration_secs <= 0.0 {
+        return 0;
+    }
+    let mut n = (duration_secs / period_secs).ceil() as usize;
+    while n > 0 && (n - 1) as f64 * period_secs >= duration_secs {
+        n -= 1;
+    }
+    while (n as f64) * period_secs < duration_secs {
+        n += 1;
+    }
+    n
 }
 
 #[cfg(test)]
@@ -211,6 +253,27 @@ mod tests {
         assert_eq!(series.len(), 10); // ceil(9.5)
         let series = s.sample_series(&source(1, 10.0), 0.0);
         assert!(series.is_empty());
+    }
+
+    #[test]
+    fn exact_multiple_durations_do_not_gain_a_sample() {
+        // `3.0 * 0.1 = 0.30000000000000004` divided by `0.1` is
+        // 3.0000000000000004, whose bare ceil would schedule a 4th
+        // sample at the kill instant. The tick contract is strictly
+        // `k * period < duration`.
+        let s = GpuSampler::with_period(0.1);
+        let duration = 3.0 * 0.1;
+        let series = s.sample_series(&source(1, 10.0), duration);
+        let expected = (0..).take_while(|&k| k as f64 * 0.1 < duration).count();
+        assert_eq!(series.len(), expected);
+        assert_eq!(series.len(), 3);
+        // An exactly-representable multiple stays exact.
+        let series = s.sample_series(&source(1, 10.0), 0.5);
+        assert_eq!(series.len(), 5);
+        // CPU sampler shares the same tick arithmetic.
+        let c = CpuSampler::new();
+        let duration = 7.0 * 10.0;
+        assert_eq!(c.sample_series(&source(1, 0.0), duration).len(), 7);
     }
 
     #[test]

@@ -26,6 +26,18 @@ pub trait MetricSource {
     /// Implementations may panic if `gpu_index >= gpu_count()`.
     fn gpu_state(&self, gpu_index: u32, t: f64) -> GpuMetricSample;
 
+    /// If the state of `gpu_index` is known to be constant over a span
+    /// starting at `t`, returns `Some(end)` such that `gpu_state(g, t')
+    /// == gpu_state(g, t)` for every `t <= t' < end`. Returns `None`
+    /// when no such span is known (the conservative default).
+    ///
+    /// This is purely an optimization contract: the samplers use it to
+    /// reuse one `gpu_state` call across every tick inside the span, so
+    /// a wrong span changes results while a `None` merely costs speed.
+    fn gpu_constant_until(&self, _gpu_index: u32, _t: f64) -> Option<f64> {
+        None
+    }
+
     /// Ground-truth CPU-side state at job-relative time `t` seconds.
     fn cpu_state(&self, t: f64) -> CpuMetricSample;
 }
@@ -50,6 +62,10 @@ impl MetricSource for ConstantSource {
     fn gpu_state(&self, gpu_index: u32, _t: f64) -> GpuMetricSample {
         assert!(gpu_index < self.gpus, "gpu index {gpu_index} out of range");
         self.gpu
+    }
+
+    fn gpu_constant_until(&self, _gpu_index: u32, _t: f64) -> Option<f64> {
+        Some(f64::INFINITY)
     }
 
     fn cpu_state(&self, _t: f64) -> CpuMetricSample {

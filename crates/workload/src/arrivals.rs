@@ -39,9 +39,8 @@ impl ArrivalIntensity {
     pub fn intensity(&self, t: f64) -> f64 {
         let day_frac = (t / DAY_SECS).fract();
         // Activity peaks mid-afternoon, troughs pre-dawn.
-        let diurnal = 1.0
-            + self.diurnal_amplitude
-                * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
+        let diurnal =
+            1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
         // Gaussian surge ramping up over ~10 days before each deadline.
         let day = t / DAY_SECS;
         let mut surge = 1.0;
@@ -96,7 +95,8 @@ impl ArrivalIntensity {
         while out.len() < n {
             let centre = self.sample_arrival(rng);
             // Geometric-ish burst size with the requested mean.
-            let size = 1 + (mean_burst - 1.0).max(0.0) as usize
+            let size = 1
+                + (mean_burst - 1.0).max(0.0) as usize
                 + (Exponential::with_mean(mean_burst.max(1.001) - 1.0)
                     .map(|d| d.sample(rng) as usize)
                     .unwrap_or(0));
@@ -179,10 +179,7 @@ mod tests {
                 trough += 1;
             }
         }
-        assert!(
-            peak as f64 > 1.25 * trough as f64,
-            "peak {peak} vs trough {trough}"
-        );
+        assert!(peak as f64 > 1.25 * trough as f64, "peak {peak} vs trough {trough}");
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl<'a> JobFactory<'a> {
         if class == LifecycleClass::Ide {
             // "The timeout limit is 12 hours or 24 hours, depending on
             // the requested amount."
-            let hours = self.spec.ide_timeout_hours[rng.gen_range(0..2)];
+            let hours = self.spec.ide_timeout_hours[rng.gen_range(0..2usize)];
             let limit = hours * 3600.0;
             return (limit, PlannedOutcome::RunUntilTimeout, limit);
         }

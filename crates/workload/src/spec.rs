@@ -281,14 +281,7 @@ impl WorkloadSpec {
         spec.name = "philly".to_string();
         // "On Microsoft's Philly clusters, 93% of the jobs are run on one
         // GPU and only 2.5% of the jobs run on more than four GPUs."
-        spec.gpu_count_mix = vec![
-            (1, 88.0),
-            (2, 4.0),
-            (4, 3.0),
-            (8, 3.0),
-            (16, 1.3),
-            (32, 0.7),
-        ];
+        spec.gpu_count_mix = vec![(1, 88.0), (2, 4.0), (4, 3.0), (8, 3.0), (16, 1.3), (32, 0.7)];
         // Philly's DNN-training users scale out more readily.
         spec.user_gpu_ceiling_weights = vec![(1, 0.25), (2, 0.25), (8, 0.25), (32, 0.25)];
         // Philly is a batch DNN-training cluster: no IDE tier, a larger
@@ -317,10 +310,8 @@ impl WorkloadSpec {
 
     /// The class spec for a lifecycle class.
     pub fn class(&self, class: LifecycleClass) -> &ClassSpec {
-        let idx = LifecycleClass::ALL
-            .iter()
-            .position(|c| *c == class)
-            .expect("class present in ALL");
+        let idx =
+            LifecycleClass::ALL.iter().position(|c| *c == class).expect("class present in ALL");
         &self.classes[idx]
     }
 

@@ -244,6 +244,38 @@ impl GpuGroundTruth {
         &self.phases[idx.min(self.phases.len() - 1)]
     }
 
+    /// If the process is constant over a span starting at `t`, returns
+    /// the span's end: `state_at(t') == state_at(t)` for all
+    /// `t <= t' < end`. Idle phases are constant for their whole
+    /// length; active phases are constant between spike boundaries
+    /// whenever every resource's wave amplitude is zero (short phases
+    /// never complete a wave cycle and are suppressed by
+    /// [`Phase::amplitude`]). Returns `None` for waving phases.
+    ///
+    /// This feeds [`MetricSource::gpu_constant_until`], letting the
+    /// 100 ms sampler take one `state_at` call per constant span
+    /// instead of one per tick.
+    pub fn constant_until(&self, t: f64) -> Option<f64> {
+        let phase = self.phase_at(t);
+        if !phase.active {
+            return Some(phase.end());
+        }
+        if GpuResource::UTILIZATION.iter().any(|&r| phase.amplitude(r) != 0.0) {
+            return None;
+        }
+        // Flat base levels: the state only changes at spike edges.
+        let rel = t - phase.start;
+        let mut end = phase.end();
+        for s in &phase.spikes {
+            for boundary in [s.offset, s.offset + s.len] {
+                if boundary > rel {
+                    end = end.min(phase.start + boundary);
+                }
+            }
+        }
+        Some(end)
+    }
+
     /// Ground-truth sample at time `t`.
     pub fn state_at(&self, t: f64, power: &PowerModel) -> GpuMetricSample {
         let phase = self.phase_at(t);
@@ -389,7 +421,13 @@ impl Default for TruthParams {
             mean_active_secs: 180.0,
             sigma_active: 1.16,
             sigma_idle: 1.0,
-            mean_levels: ResourceLevels { sm: 16.0, mem: 2.0, mem_size: 9.0, pcie_tx: 10.0, pcie_rx: 12.0 },
+            mean_levels: ResourceLevels {
+                sm: 16.0,
+                mem: 2.0,
+                mem_size: 9.0,
+                pcie_tx: 10.0,
+                pcie_rx: 12.0,
+            },
             phase_level_sigma: 0.35,
             wave_frac: 0.22,
             wave_period: 45.0,
@@ -406,10 +444,7 @@ impl Default for TruthParams {
 /// Panics if `duration <= 0` or `active_fraction` is outside `[0, 1]`.
 pub fn generate_gpu_truth<R: Rng + ?Sized>(rng: &mut R, p: &TruthParams) -> GpuGroundTruth {
     assert!(p.duration > 0.0, "duration must be positive");
-    assert!(
-        (0.0..=1.0).contains(&p.active_fraction),
-        "active_fraction must be in [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&p.active_fraction), "active_fraction must be in [0, 1]");
     if p.active_fraction < 0.005 {
         return GpuGroundTruth::idle(p.duration);
     }
@@ -423,16 +458,12 @@ pub fn generate_gpu_truth<R: Rng + ?Sized>(rng: &mut R, p: &TruthParams) -> GpuG
         p.sigma_active,
     )
     .expect("valid lognormal");
-    let idle_dist = LogNormal::new(
-        mean_idle_secs.ln() - p.sigma_idle * p.sigma_idle / 2.0,
-        p.sigma_idle,
-    )
-    .expect("valid lognormal");
-    let level_mult = LogNormal::new(
-        -p.phase_level_sigma * p.phase_level_sigma / 2.0,
-        p.phase_level_sigma,
-    )
-    .expect("valid lognormal");
+    let idle_dist =
+        LogNormal::new(mean_idle_secs.ln() - p.sigma_idle * p.sigma_idle / 2.0, p.sigma_idle)
+            .expect("valid lognormal");
+    let level_mult =
+        LogNormal::new(-p.phase_level_sigma * p.phase_level_sigma / 2.0, p.phase_level_sigma)
+            .expect("valid lognormal");
 
     let mut phases = Vec::new();
     let mut t = 0.0;
@@ -509,8 +540,8 @@ impl JobGroundTruth {
         assert!(gpu_count > 0, "a GPU job needs at least one GPU");
         assert!(idle_gpus < gpu_count, "at least one GPU must be active");
         let reference = generate_gpu_truth(rng, params);
-        let jitter_dist = LogNormal::new(-gpu_jitter * gpu_jitter / 2.0, gpu_jitter)
-            .expect("valid lognormal");
+        let jitter_dist =
+            LogNormal::new(-gpu_jitter * gpu_jitter / 2.0, gpu_jitter).expect("valid lognormal");
         let mut gpus = Vec::with_capacity(gpu_count as usize);
         for g in 0..gpu_count {
             if g >= gpu_count - idle_gpus {
@@ -538,10 +569,7 @@ impl JobGroundTruth {
 
     /// Exact per-GPU aggregates over `[0, duration]`.
     pub fn analytic_aggregates(&self, duration: f64) -> Vec<GpuAggregates> {
-        self.gpus
-            .iter()
-            .map(|g| g.analytic_aggregates(duration, &self.power))
-            .collect()
+        self.gpus.iter().map(|g| g.analytic_aggregates(duration, &self.power)).collect()
     }
 }
 
@@ -552,6 +580,10 @@ impl MetricSource for JobGroundTruth {
 
     fn gpu_state(&self, gpu_index: u32, t: f64) -> GpuMetricSample {
         self.gpus[gpu_index as usize].state_at(t, &self.power)
+    }
+
+    fn gpu_constant_until(&self, gpu_index: u32, t: f64) -> Option<f64> {
+        self.gpus[gpu_index as usize].constant_until(t)
     }
 
     fn cpu_state(&self, _t: f64) -> CpuMetricSample {
@@ -679,6 +711,71 @@ mod tests {
         let b = truth.gpu_state(0, 123.456);
         assert_eq!(a, b);
         assert!(a.is_valid());
+    }
+
+    /// Delegates `gpu_state` but hides the constant-span hint, forcing
+    /// the sampler onto its tick-by-tick slow path.
+    struct NoHint<'a>(&'a JobGroundTruth);
+
+    impl MetricSource for NoHint<'_> {
+        fn gpu_count(&self) -> u32 {
+            self.0.gpu_count()
+        }
+        fn gpu_state(&self, gpu_index: u32, t: f64) -> GpuMetricSample {
+            self.0.gpu_state(gpu_index, t)
+        }
+        fn cpu_state(&self, t: f64) -> CpuMetricSample {
+            self.0.cpu_state(t)
+        }
+    }
+
+    #[test]
+    fn constant_span_fast_path_is_bit_identical() {
+        // The fast path folds the same sample value through the same
+        // aggregation loop, so series and aggregates must match the
+        // slow path exactly — not approximately.
+        for seed in [11u64, 12, 13] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = TruthParams {
+                duration: 900.0,
+                active_fraction: 0.5,
+                spike_resources: vec![GpuResource::Sm, GpuResource::Memory],
+                ..Default::default()
+            };
+            let truth = JobGroundTruth::generate(&mut rng, &p, 3, 1, 0.05);
+            let sampler = GpuSampler::new();
+            let fast = sampler.sample_series(&truth, 900.0);
+            let slow = sampler.sample_series(&NoHint(&truth), 900.0);
+            assert_eq!(fast, slow, "seed {seed}: series diverged");
+            let fast_agg = sampler.sample_aggregates(&truth, 900.0);
+            let slow_agg = sampler.sample_aggregates(&NoHint(&truth), 900.0);
+            assert_eq!(fast_agg, slow_agg, "seed {seed}: aggregates diverged");
+        }
+    }
+
+    #[test]
+    fn constant_until_spans_respect_their_contract() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let p = TruthParams {
+            duration: 1200.0,
+            spike_resources: vec![GpuResource::Sm],
+            ..Default::default()
+        };
+        let truth = JobGroundTruth::generate(&mut rng, &p, 1, 0, 0.0);
+        let g = &truth.gpus[0];
+        let mut t = 0.0;
+        while t < 1200.0 {
+            match g.constant_until(t) {
+                Some(end) => {
+                    assert!(end > t, "span must advance past {t}");
+                    let reference = g.state_at(t, &truth.power);
+                    let probe = (end.min(1200.0) - t) * 0.37 + t;
+                    assert_eq!(g.state_at(probe, &truth.power), reference);
+                    t = end.min(1200.0).max(t + 0.05);
+                }
+                None => t += 0.05,
+            }
+        }
     }
 
     #[test]

@@ -75,8 +75,7 @@ impl UserPopulation {
         let mut staircase: Vec<f64> = (0..n)
             .map(|i| {
                 let u = (i as f64 + 0.5) / n as f64;
-                (spec.user_activity_log_sigma * sc_stats::dist::standard_normal_quantile(u))
-                    .exp()
+                (spec.user_activity_log_sigma * sc_stats::dist::standard_normal_quantile(u)).exp()
             })
             .collect();
         // Fisher–Yates shuffle so user ids are not rank-ordered.
@@ -110,20 +109,15 @@ impl UserPopulation {
             let f_expl = 0.79;
             let f_dev = (1.35 - 0.37 * boost).max(0.35);
             let f_ide = (1.60 - 0.90 * boost).max(0.15);
-            let adjusted = [
-                shares[0] * f_mature,
-                shares[1] * f_expl,
-                shares[2] * f_dev,
-                shares[3] * f_ide,
-            ];
+            let adjusted =
+                [shares[0] * f_mature, shares[1] * f_expl, shares[2] * f_dev, shares[3] * f_ide];
             let adj_total: f64 = adjusted.iter().sum();
             let mut mix = [0.0; 4];
             let mut total = 0.0;
             for (k, &share) in adjusted.iter().enumerate() {
-                let g = Gamma::new(
-                    (spec.user_mix_concentration * share / adj_total * 4.0).max(0.02),
-                )
-                .expect("positive shape");
+                let g =
+                    Gamma::new((spec.user_mix_concentration * share / adj_total * 4.0).max(0.02))
+                        .expect("positive shape");
                 mix[k] = g.sample(rng).max(1e-12);
                 total += mix[k];
             }

@@ -60,8 +60,7 @@ fn main() {
     // Beyond the static economics, the simulator can *run* the tiered
     // cluster: 32 half-speed nodes absorb the interactive sessions.
     let mut tiered = sc_repro::cluster::ClusterSpec::supercloud();
-    tiered.slow_tier =
-        Some(sc_repro::cluster::SlowTierSpec { nodes: 32, speed: 0.5 });
+    tiered.slow_tier = Some(sc_repro::cluster::SlowTierSpec { nodes: 32, speed: 0.5 });
     let tiered_out = Simulation::new(SimConfig {
         cluster: tiered,
         detailed_series_jobs: 0,

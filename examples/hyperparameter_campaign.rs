@@ -28,8 +28,7 @@ fn main() {
     let total_hours: f64 = views.iter().map(|v| v.gpu_hours()).sum();
     let mut by_class = [(LifecycleClass::Mature, 0.0, 0usize); 4];
     for (slot, &class) in by_class.iter_mut().zip(LifecycleClass::ALL.iter()) {
-        let hours: f64 =
-            views.iter().filter(|v| v.class == class).map(|v| v.gpu_hours()).sum();
+        let hours: f64 = views.iter().filter(|v| v.class == class).map(|v| v.gpu_hours()).sum();
         let count = views.iter().filter(|v| v.class == class).count();
         *slot = (class, hours, count);
     }

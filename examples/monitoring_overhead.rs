@@ -23,7 +23,13 @@ fn main() {
     let params = TruthParams {
         duration: 3_600.0,
         active_fraction: 0.8,
-        mean_levels: ResourceLevels { sm: 22.0, mem: 3.0, mem_size: 12.0, pcie_tx: 8.0, pcie_rx: 10.0 },
+        mean_levels: ResourceLevels {
+            sm: 22.0,
+            mem: 3.0,
+            mem_size: 12.0,
+            pcie_tx: 8.0,
+            pcie_rx: 10.0,
+        },
         spike_resources: vec![GpuResource::Sm],
         ..Default::default()
     };
@@ -42,11 +48,7 @@ fn main() {
         fn gpu_count(&self) -> u32 {
             1
         }
-        fn gpu_state(
-            &self,
-            _g: u32,
-            t: f64,
-        ) -> sc_repro::telemetry::GpuMetricSample {
+        fn gpu_state(&self, _g: u32, t: f64) -> sc_repro::telemetry::GpuMetricSample {
             self.0.state_at(t, &self.1)
         }
         fn cpu_state(&self, _t: f64) -> sc_repro::telemetry::CpuMetricSample {

@@ -17,8 +17,7 @@ fn sim() -> &'static SimOutput {
         // (mixes, ceilings, concentration) is calibrated against it.
         spec.users = 191;
         let trace = Trace::generate(&spec, 125);
-        Simulation::new(SimConfig { detailed_series_jobs: 220, ..Default::default() })
-            .run(&trace)
+        Simulation::new(SimConfig { detailed_series_jobs: 220, ..Default::default() }).run(&trace)
     })
 }
 
@@ -74,9 +73,7 @@ fn utilization_medians_near_fig4() {
 fn lifecycle_mix_near_fig15() {
     let views = gpu_views(&sim().dataset);
     let total = views.len() as f64;
-    let share = |c: LifecycleClass| {
-        views.iter().filter(|v| v.class == c).count() as f64 / total
-    };
+    let share = |c: LifecycleClass| views.iter().filter(|v| v.class == c).count() as f64 / total;
     assert!(within(share(LifecycleClass::Mature), 0.60, 0.15), "{}", share(LifecycleClass::Mature));
     assert!(
         within(share(LifecycleClass::Exploratory), 0.18, 0.45),
@@ -92,11 +89,8 @@ fn lifecycle_mix_near_fig15() {
     // GPU-hour inversion: mature's hour share sits well below its job
     // share (39% vs 60% in the paper).
     let hours: f64 = views.iter().map(|v| v.gpu_hours()).sum();
-    let mature_hours: f64 = views
-        .iter()
-        .filter(|v| v.class == LifecycleClass::Mature)
-        .map(|v| v.gpu_hours())
-        .sum();
+    let mature_hours: f64 =
+        views.iter().filter(|v| v.class == LifecycleClass::Mature).map(|v| v.gpu_hours()).sum();
     assert!(mature_hours / hours < share(LifecycleClass::Mature));
 }
 
@@ -117,8 +111,7 @@ fn multi_gpu_structure_near_fig13() {
         views.iter().filter(|v| v.sched.gpus_requested == 1).count() as f64 / views.len() as f64;
     assert!(within(single, 0.84, 0.08), "single share {single}");
     let users = user_stats(&views);
-    let multi_users =
-        users.iter().filter(|u| u.max_gpus > 1).count() as f64 / users.len() as f64;
+    let multi_users = users.iter().filter(|u| u.max_gpus > 1).count() as f64 / users.len() as f64;
     assert!(within(multi_users, 0.60, 0.25), "multi users {multi_users}");
 }
 
@@ -208,11 +201,9 @@ fn expert_correlations_match_fig12() {
 fn class_utilization_ordering_matches_fig16() {
     let views = gpu_views(&sim().dataset);
     let median_sm = |c: LifecycleClass| {
-        Ecdf::new(
-            views.iter().filter(|v| v.class == c).map(|v| v.agg.sm_util.mean).collect(),
-        )
-        .unwrap()
-        .median()
+        Ecdf::new(views.iter().filter(|v| v.class == c).map(|v| v.agg.sm_util.mean).collect())
+            .unwrap()
+            .median()
     };
     let mature = median_sm(LifecycleClass::Mature);
     let dev = median_sm(LifecycleClass::Development);

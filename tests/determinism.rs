@@ -7,8 +7,8 @@ fn run(seed: u64) -> (Trace, SimOutput) {
     let mut spec = WorkloadSpec::supercloud().scaled(0.01);
     spec.users = 32;
     let trace = Trace::generate(&spec, seed);
-    let out = Simulation::new(SimConfig { detailed_series_jobs: 30, ..Default::default() })
-        .run(&trace);
+    let out =
+        Simulation::new(SimConfig { detailed_series_jobs: 30, ..Default::default() }).run(&trace);
     (trace, out)
 }
 
@@ -56,4 +56,29 @@ fn figure_statistics_are_stable_across_reruns() {
     let ua = user_stats(&va);
     let ub = user_stats(&vb);
     assert_eq!(ua, ub);
+}
+
+/// The deterministic-parallelism rule, end to end: a 1-thread run and
+/// an N-thread run must agree byte for byte on both the exported
+/// Dataset JSON and the rendered figure text. Work is distributed
+/// dynamically but merged in input order, so the thread budget can only
+/// change wall time, never output.
+#[test]
+fn thread_budget_never_changes_output() {
+    let saved = sc_repro::par::current_threads();
+
+    sc_repro::par::set_max_threads(1);
+    let (_, a) = run(5);
+    let json_a = a.dataset.to_json().expect("serializable");
+    let text_a = AnalysisReport::from_sim(&a).render_text();
+
+    sc_repro::par::set_max_threads(4);
+    let (_, b) = run(5);
+    let json_b = b.dataset.to_json().expect("serializable");
+    let text_b = AnalysisReport::from_sim(&b).render_text();
+
+    sc_repro::par::set_max_threads(saved);
+
+    assert_eq!(json_a, json_b, "Dataset JSON must not depend on the thread budget");
+    assert_eq!(text_a, text_b, "figure text must not depend on the thread budget");
 }

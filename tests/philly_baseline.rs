@@ -9,8 +9,8 @@ fn philly_views() -> (SimOutput, WorkloadSpec) {
     let mut spec = WorkloadSpec::philly().scaled(0.05);
     spec.users = 96;
     let trace = Trace::generate(&spec, 23);
-    let out = Simulation::new(SimConfig { detailed_series_jobs: 80, ..Default::default() })
-        .run(&trace);
+    let out =
+        Simulation::new(SimConfig { detailed_series_jobs: 80, ..Default::default() }).run(&trace);
     (out, spec)
 }
 
@@ -29,8 +29,8 @@ fn philly_is_more_single_gpu_than_supercloud() {
     let mut sc_spec = WorkloadSpec::supercloud().scaled(0.05);
     sc_spec.users = 96;
     let sc_trace = Trace::generate(&sc_spec, 23);
-    let sc_out = Simulation::new(SimConfig { detailed_series_jobs: 0, ..Default::default() })
-        .run(&sc_trace);
+    let sc_out =
+        Simulation::new(SimConfig { detailed_series_jobs: 0, ..Default::default() }).run(&sc_trace);
     let sc_views = gpu_views(&sc_out.dataset);
     let sc_users = user_stats(&sc_views);
     let sc_fig13 = sc_core::figures::Fig13::compute(&sc_views, &sc_users);

@@ -96,11 +96,8 @@ fn dataset_funnel_is_consistent() {
 fn detailed_subset_carries_phase_statistics() {
     let out = run();
     assert!(!out.detailed.is_empty());
-    let with_alternation = out
-        .detailed
-        .iter()
-        .filter(|d| d.phases.active_interval_cov.is_some())
-        .count();
+    let with_alternation =
+        out.detailed.iter().filter(|d| d.phases.active_interval_cov.is_some()).count();
     assert!(with_alternation > 0, "some jobs alternate phases");
     for d in &out.detailed {
         assert!((0.0..=1.0).contains(&d.phases.active_fraction));

@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` harness shape and
+//! the `Criterion` / `BenchmarkGroup` / `Bencher` API, but measures
+//! with a simple calibrated wall-clock loop: each benchmark is timed
+//! over enough iterations to fill a short measurement window, and the
+//! median per-iteration time over `sample_size` samples is reported.
+//! No plotting, no statistics beyond median/min/max.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Target wall-clock time for one sample's iteration batch.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// `--bench <filter>`-style substring filter from the CLI.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`cargo bench` passes `--bench`;
+    /// a trailing free argument is treated as a name filter, matching
+    /// criterion's CLI).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Flags consumed by the harness contract.
+                "--bench" | "--test" => {}
+                // Same, but its value must be discarded too.
+                "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(self, id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(self.criterion, id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    if !criterion.matches(id) {
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch fills the
+    // sample window.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break b.elapsed / iters.max(1) as u32;
+        }
+        // Aim directly for the window, bounded by doubling.
+        let target = SAMPLE_TARGET.as_nanos() as u64;
+        let got = b.elapsed.as_nanos().max(1) as u64;
+        iters = (iters * 2).max((iters * target / got).min(iters * 64)).max(iters + 1);
+    };
+    let _ = per_iter;
+
+    let mut samples: Vec<Duration> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed / iters.max(1) as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let (min, max) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "  {id:<40} median {} / iter  (min {}, max {}, {iters} iters x {sample_size} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

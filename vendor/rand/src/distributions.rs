@@ -1,0 +1,144 @@
+//! The distribution plumbing behind [`Rng::gen`](crate::Rng::gen) and
+//! [`Rng::gen_range`](crate::Rng::gen_range).
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution of each primitive type: full-range
+/// for integers, `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Range sampling (`gen_range`) support.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps 64 uniform bits onto `[0, span)` by widening multiply —
+    /// bias below 2^-64 for every span this workspace uses.
+    #[inline]
+    fn bounded(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(bounded(rng, span) as $t)
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(bounded(rng, span + 1) as $t)
+                }
+            }
+        )+};
+    }
+
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let u: f64 = crate::distributions::Distribution::<f64>::sample(
+                        &crate::distributions::Standard,
+                        rng,
+                    );
+                    let v = self.start as f64 + (self.end as f64 - self.start as f64) * u;
+                    // Floating rounding can land exactly on `end`; fold it back.
+                    if v as $t >= self.end { self.start } else { v as $t }
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let u: f64 = crate::distributions::Distribution::<f64>::sample(
+                        &crate::distributions::Standard,
+                        rng,
+                    );
+                    (lo as f64 + (hi as f64 - lo as f64) * u) as $t
+                }
+            }
+        )+};
+    }
+
+    float_range!(f32, f64);
+}

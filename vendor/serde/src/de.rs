@@ -1,0 +1,279 @@
+//! The deserialization half: [`Deserialize`], [`Deserializer`], and the
+//! [`Value`] tree they exchange.
+//!
+//! Unlike upstream serde's visitor architecture, a [`Deserializer`]
+//! here produces a fully parsed [`Value`] and `Deserialize` impls
+//! pattern-match on it. That trades zero-copy streaming for a much
+//! smaller contract — the right trade for this workspace, which only
+//! round-trips datasets through JSON strings.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors a deserializer can produce.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A parsed self-describing value (the JSON data model, with integers
+/// kept exact rather than coerced to `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` — also what a missing struct field decodes as.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short noun for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Uint(_) | Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+
+    /// Unwraps a map, or errors with `expected` as the wanted type name.
+    pub fn into_map<E: Error>(self, expected: &str) -> Result<Vec<(String, Value)>, E> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(E::custom(format_args!(
+                "expected a map for `{expected}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps a sequence, or errors with `expected` as the wanted type
+    /// name.
+    pub fn into_seq<E: Error>(self, expected: &str) -> Result<Vec<Value>, E> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(E::custom(format_args!(
+                "expected a sequence for `{expected}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Removes and returns the entry for `key`, or [`Value::Null`] if the
+/// field is absent (so `Option` fields default to `None`).
+pub fn take_field(fields: &mut Vec<(String, Value)>, key: &str) -> Value {
+    match fields.iter().position(|(k, _)| k == key) {
+        Some(i) => fields.swap_remove(i).1,
+        None => Value::Null,
+    }
+}
+
+/// A data format that can produce Rust values.
+pub trait Deserializer<'de>: Sized {
+    /// The format's error type.
+    type Error: Error;
+
+    /// Parses the input into a [`Value`] tree.
+    fn value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value that can be built from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Adapts an already-parsed [`Value`] back into a [`Deserializer`], so
+/// derived code (and `#[serde(with = "...")]` modules) can recurse into
+/// sub-values.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps `value`.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value, marker: PhantomData }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+fn type_error<T, E: Error>(expected: &str, found: &Value) -> Result<T, E> {
+    Err(E::custom(format_args!("expected {expected}, found {}", found.kind())))
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),+) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.value()? {
+                    Value::Uint(v) => <$t>::try_from(v).map_err(|_| {
+                        D::Error::custom(format_args!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))
+                    }),
+                    other => type_error("an unsigned integer", &other),
+                }
+            }
+        }
+    )+};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),+) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let out_of_range = |v: &dyn Display| {
+                    D::Error::custom(format_args!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                };
+                match deserializer.value()? {
+                    Value::Int(v) => <$t>::try_from(v).map_err(|_| out_of_range(&v)),
+                    Value::Uint(v) => <$t>::try_from(v).map_err(|_| out_of_range(&v)),
+                    other => type_error("an integer", &other),
+                }
+            }
+        }
+    )+};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),+) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.value()? {
+                    Value::Float(v) => Ok(v as $t),
+                    Value::Uint(v) => Ok(v as $t),
+                    Value::Int(v) => Ok(v as $t),
+                    other => type_error("a number", &other),
+                }
+            }
+        }
+    )+};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.value()? {
+            Value::Bool(v) => Ok(v),
+            other => type_error("a boolean", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.value()? {
+            Value::Str(v) => Ok(v),
+            other => type_error("a string", &other),
+        }
+    }
+}
+
+/// Supports `&'static str` fields on derived types (used for fixed unit
+/// labels). Deserializing one leaks the string — acceptable because the
+/// workspace only ever serializes such types.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(|s| &*s.leak())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.value()? {
+            Value::Null => Ok(()),
+            other => type_error("null", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.value()? {
+            Value::Null => Ok(None),
+            value => T::deserialize(ValueDeserializer::<D::Error>::new(value)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .value()?
+            .into_seq::<D::Error>("Vec")?
+            .into_iter()
+            .map(|v| T::deserialize(ValueDeserializer::<D::Error>::new(v)))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            D::Error::custom(format_args!("expected an array of length {N}, found {len}"))
+        })
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident),+))+) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let items = deserializer.value()?.into_seq::<De::Error>("tuple")?;
+                if items.len() != $len {
+                    return Err(De::Error::custom(format_args!(
+                        "expected a tuple of length {}, found {}", $len, items.len()
+                    )));
+                }
+                let mut items = items.into_iter();
+                Ok(($(
+                    $name::deserialize(ValueDeserializer::<De::Error>::new(
+                        items.next().expect("length checked"),
+                    ))?,
+                )+))
+            }
+        }
+    )+};
+}
+
+deserialize_tuple! {
+    (1: A)
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the serde surface it uses: `Serialize`/`Deserialize` traits,
+//! the `Serializer`/`Deserializer` abstractions (JSON-shaped — the only
+//! format the workspace serializes to), derive macros re-exported from
+//! the companion `serde_derive` stub, and `#[serde(with = "...")]`
+//! support.
+//!
+//! The deserialization side is deliberately simpler than upstream's
+//! visitor architecture: a [`Deserializer`] yields a parsed
+//! [`de::Value`] tree and `Deserialize` impls pattern-match on it.
+
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace: both can be imported as `serde::{Serialize, Deserialize}`.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,590 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` built
+//! directly on `proc_macro` (no syn/quote — the build environment has
+//! no registry access). Supports exactly the shapes this workspace
+//! uses: non-generic named-field structs, tuple/newtype structs, unit
+//! structs, and enums with unit and struct variants, plus the
+//! `#[serde(with = "module")]` field attribute.
+//!
+//! Anything outside that surface panics at expansion time with a
+//! message saying what to extend.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields (1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tt = self.tokens.get(self.pos).cloned();
+        if tt.is_some() {
+            self.pos += 1;
+        }
+        tt
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("serde derive: expected `{ch}`, found {other:?}"),
+        }
+    }
+
+    /// Consumes `#[...]` if present; returns the attribute's bracket
+    /// content, or `None` if the next token is not an attribute.
+    fn eat_attribute(&mut self) -> Option<TokenStream> {
+        if !self.peek_punct('#') {
+            return None;
+        }
+        self.next();
+        match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => Some(g.stream()),
+            other => panic!("serde derive: malformed attribute, found {other:?}"),
+        }
+    }
+
+    /// Consumes `pub` / `pub(...)` if present.
+    fn eat_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Collects type tokens up to a top-level `,` (tracking `<...>`
+    /// nesting, which the tokenizer does not group).
+    fn collect_type(&mut self) -> String {
+        let mut depth = 0i32;
+        let mut parts: Vec<String> = Vec::new();
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            parts.push(tt.to_string());
+            self.pos += 1;
+        }
+        parts.join(" ")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Extracts the module path from a `serde(with = "path")` attribute
+/// body, or `None` for non-serde attributes (doc comments, etc.).
+fn serde_with_path(attr: TokenStream) -> Option<String> {
+    let mut c = Cursor::new(attr);
+    if !c.peek_ident("serde") {
+        return None;
+    }
+    c.next();
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde derive: malformed #[serde] attribute, found {other:?}"),
+    };
+    let mut b = Cursor::new(body);
+    let key = b.expect_ident("a serde attribute key");
+    if key != "with" {
+        panic!(
+            "serde derive: unsupported attribute `#[serde({key} ...)]` — \
+             this vendored derive only supports `with`"
+        );
+    }
+    b.expect_punct('=');
+    match b.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            let path = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or_else(|| {
+                panic!("serde derive: `with` expects a string literal, got {s}")
+            });
+            Some(path.to_string())
+        }
+        other => panic!("serde derive: `with` expects a string literal, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type` fields (with optional attributes and visibility)
+/// from the body of a braced struct or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let mut with = None;
+        while let Some(attr) = c.eat_attribute() {
+            if let Some(path) = serde_with_path(attr) {
+                with = Some(path);
+            }
+        }
+        c.eat_visibility();
+        let name = c.expect_ident("a field name");
+        c.expect_punct(':');
+        let ty = c.collect_type();
+        fields.push(Field { name, ty, with });
+        if c.peek_punct(',') {
+            c.next();
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        while c.eat_attribute().is_some() {}
+        c.eat_visibility();
+        let ty = c.collect_type();
+        if !ty.is_empty() {
+            count += 1;
+        }
+        if c.peek_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        while c.eat_attribute().is_some() {}
+        let name = c.expect_ident("a variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                c.next();
+                VariantFields::Named(parse_named_fields(body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde derive: tuple enum variant `{name}` is not supported by the \
+                     vendored derive (use a struct variant)"
+                );
+            }
+            _ => VariantFields::Unit,
+        };
+        if c.peek_punct('=') {
+            panic!("serde derive: explicit discriminants are not supported (variant `{name}`)");
+        }
+        if c.peek_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    loop {
+        if c.eat_attribute().is_some() {
+            continue;
+        }
+        c.eat_visibility();
+        if c.peek_ident("struct") || c.peek_ident("enum") {
+            break;
+        }
+        match c.next() {
+            Some(tt) => panic!("serde derive: unexpected token {tt:?} before struct/enum keyword"),
+            None => panic!("serde derive: no struct or enum found in input"),
+        }
+    }
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("a type name");
+    if c.peek_punct('<') {
+        panic!("serde derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    let data = if keyword == "struct" {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    };
+    Input { name, data }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize_named_fields(out: &mut String, fields: &[Field], access_prefix: &str) {
+    for f in fields {
+        let Field { name, ty, with } = f;
+        let access = format!("{access_prefix}{name}");
+        match with {
+            Some(path) => {
+                // `with` modules see the field through a one-off wrapper
+                // so the compound serializer's generic `Serialize` bound
+                // still applies.
+                out.push_str(&format!(
+                    "{{\n\
+                     struct __SerdeWith<'__a>(&'__a ({ty}));\n\
+                     impl<'__a> ::serde::ser::Serialize for __SerdeWith<'__a> {{\n\
+                     fn serialize<__S2: ::serde::ser::Serializer>(&self, __s: __S2) \
+                     -> ::std::result::Result<__S2::Ok, __S2::Error> {{\n\
+                     {path}::serialize(self.0, __s)\n\
+                     }}\n\
+                     }}\n\
+                     ::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{name}\", \
+                     &__SerdeWith(&{access}))?;\n\
+                     }}\n"
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{name}\", \
+                     &{access})?;\n"
+                ));
+            }
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            ));
+            gen_serialize_named_fields(&mut body, fields, "self.");
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+        }
+        Data::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", \
+                 &self.0)\n"
+            ));
+        }
+        Data::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let mut __seq = ::serde::ser::Serializer::serialize_seq(\
+                 __serializer, ::std::option::Option::Some({n}usize))?;\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeSeq::end(__seq)\n");
+        }
+        Data::UnitStruct => {
+            body.push_str("::serde::ser::Serializer::serialize_unit(__serializer)\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let bindings =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut __state = \
+                             ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.len()
+                        ));
+                        for f in fields {
+                            if f.with.is_some() {
+                                panic!(
+                                    "serde derive: #[serde(with)] inside enum variants is not \
+                                     supported"
+                                );
+                            }
+                            let fname = &f.name;
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeStruct::serialize_field(&mut __state, \
+                                 \"{fname}\", {fname})?;\n"
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeStruct::end(__state)\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Generates the field initializers of a struct literal, pulling each
+/// field out of a `__fields` map binding.
+fn gen_deserialize_named_fields(out: &mut String, fields: &[Field]) {
+    for f in fields {
+        let Field { name, with, .. } = f;
+        let sub = format!(
+            "::serde::de::ValueDeserializer::<__D::Error>::new(\
+             ::serde::de::take_field(&mut __fields, \"{name}\"))"
+        );
+        match with {
+            Some(path) => out.push_str(&format!("{name}: {path}::deserialize({sub})?,\n")),
+            None => {
+                out.push_str(&format!("{name}: ::serde::de::Deserialize::deserialize({sub})?,\n"))
+            }
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let __value = ::serde::de::Deserializer::value(__deserializer)?;\n\
+                 #[allow(unused_mut)]\n\
+                 let mut __fields = ::serde::de::Value::into_map::<__D::Error>(\
+                 __value, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            gen_deserialize_named_fields(&mut body, fields);
+            body.push_str("})\n");
+        }
+        Data::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::de::Deserialize::deserialize(__deserializer)?))\n"
+            ));
+        }
+        Data::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let __items = ::serde::de::Value::into_seq::<__D::Error>(\
+                 ::serde::de::Deserializer::value(__deserializer)?, \"{name}\")?;\n\
+                 if __items.len() != {n}usize {{\n\
+                 return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected {n} elements for `{name}`, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 let mut __items = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}(\n"
+            ));
+            for _ in 0..*n {
+                body.push_str(
+                    "::serde::de::Deserialize::deserialize(\
+                     ::serde::de::ValueDeserializer::<__D::Error>::new(\
+                     __items.next().expect(\"length checked\")))?,\n",
+                );
+            }
+            body.push_str("))\n");
+        }
+        Data::UnitStruct => {
+            body.push_str(&format!(
+                "match ::serde::de::Deserializer::value(__deserializer)? {{\n\
+                 ::serde::de::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(<__D::Error as \
+                 ::serde::de::Error>::custom(format!(\
+                 \"expected null for unit struct `{name}`, found {{}}\", __other.kind()))),\n\
+                 }}\n"
+            ));
+        }
+        Data::Enum(variants) => {
+            body.push_str(
+                "let __value = ::serde::de::Deserializer::value(__deserializer)?;\n\
+                 match __value {\n",
+            );
+            // Unit variants arrive as bare strings.
+            body.push_str("::serde::de::Value::Str(__variant) => match __variant.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, VariantFields::Unit) {
+                    let vname = &v.name;
+                    body.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{}}` of `{name}`\", __variant))),\n\
+                 }},\n"
+            ));
+            // Data-carrying variants arrive externally tagged:
+            // {"Variant": {...fields...}}.
+            body.push_str(&format!(
+                "::serde::de::Value::Map(mut __entries) => {{\n\
+                 if __entries.len() != 1 {{\n\
+                 return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"expected a single-key map for an externally tagged `{name}` variant\"));\n\
+                 }}\n\
+                 let (__tag, __inner) = __entries.pop().expect(\"length checked\");\n\
+                 match __tag.as_str() {{\n"
+            ));
+            for v in variants {
+                if let VariantFields::Named(fields) = &v.fields {
+                    let vname = &v.name;
+                    body.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         #[allow(unused_mut)]\n\
+                         let mut __fields = ::serde::de::Value::into_map::<__D::Error>(\
+                         __inner, \"{name}::{vname}\")?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n"
+                    ));
+                    for f in fields {
+                        if f.with.is_some() {
+                            panic!(
+                                "serde derive: #[serde(with)] inside enum variants is not \
+                                 supported"
+                            );
+                        }
+                        let fname = &f.name;
+                        body.push_str(&format!(
+                            "{fname}: ::serde::de::Deserialize::deserialize(\
+                             ::serde::de::ValueDeserializer::<__D::Error>::new(\
+                             ::serde::de::take_field(&mut __fields, \"{fname}\")))?,\n"
+                        ));
+                    }
+                    body.push_str("})\n}\n");
+                }
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{}}` of `{name}`\", __tag))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => ::std::result::Result::Err(<__D::Error as \
+                 ::serde::de::Error>::custom(format!(\
+                 \"invalid value for enum `{name}`: {{}}\", __other.kind()))),\n\
+                 }}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+fn expand(source: &str) -> TokenStream {
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde derive: generated code failed to parse: {e}\n{source}"))
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&gen_serialize(&parse_input(input)))
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&gen_deserialize(&parse_input(input)))
+}

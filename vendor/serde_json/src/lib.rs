@@ -1,0 +1,132 @@
+//! Offline stand-in for `serde_json`: [`to_string`] and [`from_str`]
+//! over the vendored `serde` traits.
+//!
+//! The writer produces compact JSON (same shape as upstream
+//! serde_json's `to_string`); floats are written with Rust's shortest
+//! round-trippable `Display` form, and non-finite floats serialize as
+//! `null` (JSON has no infinities), matching upstream behaviour.
+
+#![warn(missing_docs)]
+
+mod read;
+mod write;
+
+pub use read::from_str;
+pub use write::to_string;
+
+use std::fmt;
+
+/// Errors from JSON serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// `Result` alias with [`Error`] pre-filled.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Weighted { weight: f64, label: String },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        id: Wrapper,
+        kind: Kind,
+        values: Vec<f64>,
+        note: Option<String>,
+        flags: [bool; 2],
+    }
+
+    #[test]
+    fn roundtrip_struct() {
+        let r = Record {
+            id: Wrapper(42),
+            kind: Kind::Weighted { weight: 0.5, label: "a \"b\"\n".into() },
+            values: vec![1.0, -2.25, 1e-12],
+            note: None,
+            flags: [true, false],
+        };
+        let json = to_string(&r).unwrap();
+        let back: Record = from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn roundtrip_unit_variant() {
+        let json = to_string(&Kind::Plain).unwrap();
+        assert_eq!(json, "\"Plain\"");
+        assert_eq!(from_str::<Kind>(&json).unwrap(), Kind::Plain);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Wrapper(7)).unwrap(), "7");
+        assert_eq!(from_str::<Wrapper>("7").unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn non_finite_floats_write_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&Some(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for v in [0.1f64, 1.0 / 3.0, 6.02214076e23, -0.0, 5e-324] {
+            let json = to_string(&v).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("12,").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str(r#""Aé☃""#).unwrap();
+        assert_eq!(s, "Aé☃");
+    }
+}

@@ -1,0 +1,226 @@
+//! Compact JSON writer implementing [`serde::Serializer`].
+
+use crate::{Error, Result};
+use serde::ser::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+use std::fmt::Write as _;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        let escape: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            0x00..=0x1f => None, // numeric escape below
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match escape {
+            Some(e) => out.push_str(e),
+            None => {
+                let _ = write!(out, "\\u{b:04x}");
+            }
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = SeqWriter<'a>;
+    type SerializeStruct = StructWriter<'a>;
+    type SerializeStructVariant = VariantWriter<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        if v.is_finite() {
+            // `{:?}` keeps the shortest round-trippable form and always
+            // marks the value as a float ("1.0", "6.02e23", "-0.0"),
+            // so it re-parses with the exact same bits.
+            let _ = write!(self.out, "{v:?}");
+        } else {
+            // JSON has no infinities or NaN; upstream serde_json also
+            // writes null.
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<()> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<SeqWriter<'a>> {
+        self.out.push('[');
+        Ok(SeqWriter { out: self.out, first: true })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructWriter<'a>> {
+        self.out.push('{');
+        Ok(StructWriter { out: self.out, first: true })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<VariantWriter<'a>> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(VariantWriter { out: self.out, first: true })
+    }
+}
+
+/// In-progress `[...]`.
+pub struct SeqWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeSeq for SeqWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<()> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+/// In-progress `{...}`.
+pub struct StructWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+fn write_field<T: Serialize + ?Sized>(
+    out: &mut String,
+    first: &mut bool,
+    key: &str,
+    value: &T,
+) -> Result<()> {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write_escaped(out, key);
+    out.push(':');
+    value.serialize(JsonSerializer { out })
+}
+
+impl SerializeStruct for StructWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        write_field(self.out, &mut self.first, key, value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+/// In-progress `{"Variant":{...}}`.
+pub struct VariantWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeStruct for VariantWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        write_field(self.out, &mut self.first, key, value)
+    }
+
+    fn end(self) -> Result<()> {
+        self.out.push_str("}}");
+        Ok(())
+    }
+}
