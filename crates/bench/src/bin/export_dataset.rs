@@ -2,11 +2,30 @@
 //! counterpart of the dataset the paper released at dcc.mit.edu.
 //!
 //! ```text
-//! export_dataset [--scale F] [--seed N] [--out dataset.json]
+//! export_dataset [--scale F] [--seed N] [--out dataset.json] [--csv FILE]
 //! ```
 
 use sc_cluster::{SimConfig, Simulation};
 use sc_workload::{Trace, WorkloadSpec};
+
+const USAGE: &str = "usage: export_dataset [--scale F] [--seed N] [--out dataset.json] [--csv FILE]
+
+  --scale F   scale the workload by F (default 0.05)
+  --seed N    master RNG seed (default 42)
+  --out FILE  JSON output path (default dataset.json)
+  --csv FILE  also write the flat CSV form";
+
+/// Prints an error plus the usage text and exits with status 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("export_dataset: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Prints a runtime (non-usage) error and exits with status 1.
+fn fail(msg: &str) -> ! {
+    eprintln!("export_dataset: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
     let mut scale = 0.05f64;
@@ -15,14 +34,27 @@ fn main() {
     let mut csv: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value =
-            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
+        };
         match flag.as_str() {
-            "--scale" => scale = value("--scale").parse().expect("numeric --scale"),
-            "--seed" => seed = value("--seed").parse().expect("integer --seed"),
+            "--scale" => {
+                scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale needs a number"));
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed needs an integer"));
+            }
             "--out" => out = value("--out"),
             "--csv" => csv = Some(value("--csv")),
-            other => panic!("unknown flag {other}"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
     let spec = WorkloadSpec::supercloud().scaled(scale);
@@ -33,11 +65,16 @@ fn main() {
     });
     let result = sim.run(&trace);
     if let Some(path) = &csv {
-        std::fs::write(path, result.dataset.to_csv()).expect("write CSV");
+        std::fs::write(path, result.dataset.to_csv())
+            .unwrap_or_else(|e| fail(&format!("cannot write CSV {path}: {e}")));
         eprintln!("wrote {path}");
     }
-    let json = result.dataset.to_json().expect("serializable dataset");
-    std::fs::write(&out, &json).expect("write dataset");
+    let json = result
+        .dataset
+        .to_json()
+        .unwrap_or_else(|e| fail(&format!("cannot serialize dataset: {e}")));
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| fail(&format!("cannot write dataset {out}: {e}")));
     eprintln!(
         "wrote {} ({} records, {:.1} MiB)",
         out,

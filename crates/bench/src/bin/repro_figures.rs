@@ -4,17 +4,23 @@
 //! ```text
 //! repro_figures [--scale F] [--seed N] [--out EXPERIMENTS.md]
 //!               [--threads N] [--bench-json BENCH_repro.json]
+//!               [--failure-profile off|supercloud|stress|transient]
+//!               [--mtbf FACTOR]
 //! ```
 //!
 //! With no arguments this runs the full 125-day / 74,820-job Supercloud
 //! reproduction on all available cores and prints the figure series to
 //! stdout; pass `--out` to also write the Markdown comparison,
 //! `--threads 1` for the sequential reference run, and `--bench-json`
-//! for a machine-readable per-stage timing breakdown.
+//! for a machine-readable per-stage timing breakdown. The failure
+//! flags enable the fault-injection subsystem: a taxonomy profile
+//! schedules GPU Xid, node-hardware, and transient-infrastructure
+//! faults, the scheduler requeues victims with capped backoff, and the
+//! goodput ledger attributes every lost GPU-hour to its cause.
 
-use sc_cluster::{SimConfig, Simulation};
+use sc_cluster::{FailureModel, SimConfig, Simulation};
 use sc_core::AnalysisReport;
-use sc_opportunity::OpportunityReport;
+use sc_opportunity::{CheckpointConfig, OpportunityReport};
 use sc_workload::{Trace, WorkloadSpec};
 
 struct Args {
@@ -24,28 +30,108 @@ struct Args {
     svg_dir: Option<String>,
     threads: Option<usize>,
     bench_json: Option<String>,
+    failure_profile: Option<String>,
+    mtbf_factor: Option<f64>,
+}
+
+const USAGE: &str = "usage: repro_figures [--scale F] [--seed N] [--out FILE] [--svg-dir DIR]
+                     [--threads N] [--bench-json FILE]
+                     [--failure-profile off|supercloud|stress|transient]
+                     [--mtbf FACTOR]
+
+  --scale F            scale the 125-day / 74,820-job workload by F (default 1.0)
+  --seed N             master RNG seed (default 42)
+  --out FILE           also write the Markdown paper-vs-measured report
+  --svg-dir DIR        write the SVG figure set into DIR
+  --threads N          cap the worker pool (default: all cores)
+  --bench-json FILE    write per-stage timings as JSON
+  --failure-profile P  inject faults from taxonomy profile P (default off)
+  --mtbf FACTOR        scale every class MTBF by FACTOR; implies
+                       --failure-profile supercloud when none is given";
+
+/// Prints an error plus the usage text and exits with status 2, the
+/// conventional bad-usage code.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro_figures: {msg}\n{USAGE}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { scale: 1.0, seed: 42, out: None, svg_dir: None, threads: None, bench_json: None };
+    let mut args = Args {
+        scale: 1.0,
+        seed: 42,
+        out: None,
+        svg_dir: None,
+        threads: None,
+        bench_json: None,
+        failure_profile: None,
+        mtbf_factor: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value =
-            |name: &str| it.next().unwrap_or_else(|| panic!("missing value for {name}"));
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
+        };
         match flag.as_str() {
-            "--scale" => args.scale = value("--scale").parse().expect("numeric --scale"),
-            "--seed" => args.seed = value("--seed").parse().expect("integer --seed"),
+            "--scale" => {
+                args.scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale needs a number"));
+            }
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed needs an integer"));
+            }
             "--out" => args.out = Some(value("--out")),
             "--svg-dir" => args.svg_dir = Some(value("--svg-dir")),
             "--threads" => {
-                args.threads = Some(value("--threads").parse().expect("integer --threads"));
+                args.threads = Some(
+                    value("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--threads needs an integer")),
+                );
             }
             "--bench-json" => args.bench_json = Some(value("--bench-json")),
-            other => panic!("unknown flag {other}"),
+            "--failure-profile" => args.failure_profile = Some(value("--failure-profile")),
+            "--mtbf" => {
+                let f: f64 = value("--mtbf")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--mtbf needs a number"));
+                if !(f.is_finite() && f > 0.0) {
+                    usage_error("--mtbf must be a positive finite factor");
+                }
+                args.mtbf_factor = Some(f);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
     args
+}
+
+/// Resolves the failure flags into a model (or `None` for the stock,
+/// failure-free reproduction). `--mtbf` without a profile means "the
+/// default taxonomy, rescaled".
+fn failure_model(args: &Args) -> Option<FailureModel> {
+    let name = match (&args.failure_profile, args.mtbf_factor) {
+        (Some(name), _) => name.as_str(),
+        (None, Some(_)) => "supercloud",
+        (None, None) => "off",
+    };
+    let model = FailureModel::profile(name, args.seed).unwrap_or_else(|| {
+        usage_error(&format!(
+            "unknown --failure-profile {name} (expected {})",
+            FailureModel::PROFILE_NAMES
+        ))
+    })?;
+    Some(match args.mtbf_factor {
+        Some(f) => model.scaled_mtbf(f),
+        None => model,
+    })
 }
 
 /// One timed pipeline stage for the `--bench-json` report.
@@ -116,11 +202,50 @@ hundreds of jobs on a single off-season day and swamp the all-jobs daily \
 mean, so the pre-deadline surge (Sec. II) is computed over GPU submissions \
 only, where the deadline ramp actually shows (≈1.2× vs the 1.1× bar).\n";
 
+/// Prints a runtime (non-usage) error and exits with status 1.
+fn fail(msg: &str) -> ! {
+    eprintln!("repro_figures: {msg}");
+    std::process::exit(1);
+}
+
+/// The failure-taxonomy section of the generated report: what the
+/// injection subsystem models and how to reproduce it.
+const FAILURE_TAXONOMY: &str = "\n## Failure taxonomy and goodput accounting\n\n\
+The paper reports hardware behind fewer than 0.5% of job deaths over its \
+window (Sec. II) and stops there. The simulator extends the analysis with a \
+three-class failure-injection taxonomy and a goodput ledger that accounts \
+for every allocated GPU-second:\n\n\
+| class | interarrival | default MTBF per unit | repair | blast radius |\n\
+|---|---|---|---|---|\n\
+| gpu-xid | exponential | 1.5e7 s per GPU | none | one resident GPU job |\n\
+| node-hardware | Weibull (k = 0.9) | 8.0e6 s per node | 4 h | whole node |\n\
+| infra-transient | exponential | 5.0e6 s per node | 5 min | whole node |\n\n\
+Failed attempts are requeued with exponential backoff (60 s base, 2× factor) \
+up to min(3, per-job restart budget) retries; interactive jobs never retry. \
+Checkpointable jobs (85% of mature/exploratory) resume from their last \
+Young-interval checkpoint instead of restarting from scratch. The ledger \
+splits allocated GPU-seconds into useful + lost + idle — the balance is \
+asserted in tests — and attributes every lost GPU-second to the class that \
+destroyed it.\n\n\
+Reproduce with:\n\n\
+```text\n\
+repro_figures --failure-profile supercloud   # default taxonomy\n\
+repro_figures --failure-profile stress       # 10x failure rates\n\
+repro_figures --failure-profile transient    # transient infra only\n\
+repro_figures --mtbf 0.5                     # halve every class MTBF\n\
+```\n\n\
+The failure schedule, every requeue decision, and the goodput report are \
+byte-identical at any thread budget (`tests/determinism.rs`); the recovery \
+invariants — double-failure absorption, requeue-after-repair, retry-cap \
+exhaustion, no GPU-second leakage — are covered by \
+`tests/scheduler_invariants.rs`.\n";
+
 fn main() {
     let args = parse_args();
     if let Some(n) = args.threads {
         sc_par::set_max_threads(n);
     }
+    let failures = failure_model(&args);
     let spec = WorkloadSpec::supercloud().scaled(args.scale);
     eprintln!(
         "generating {} jobs / {} users over {} days (seed {}, {} threads) ...",
@@ -134,7 +259,25 @@ fn main() {
     let trace = Trace::generate(&spec, args.seed);
     let trace_gen_secs = t0.elapsed().as_secs_f64();
     let detailed = ((2_149.0 * args.scale).round() as usize).max(50);
-    let sim = Simulation::new(SimConfig { detailed_series_jobs: detailed, ..Default::default() });
+    // With injection on, run checkpointing at the Young interval for the
+    // model's per-node interrupt rate, so checkpointable victims resume
+    // from their last interval instead of restarting from scratch.
+    let checkpoint = failures.as_ref().map(|model| {
+        let rate: f64 = model.classes.iter().map(|c| 1.0 / c.interarrival.mtbf_secs()).sum();
+        let policy = CheckpointConfig::for_mtti(1.0 / rate).sim_policy();
+        eprintln!(
+            "failure injection on: {} classes, checkpoint interval {:.0}s",
+            model.classes.len(),
+            policy.interval_secs
+        );
+        policy
+    });
+    let sim = Simulation::new(SimConfig {
+        detailed_series_jobs: detailed,
+        failures,
+        checkpoint,
+        ..Default::default()
+    });
     let t0 = std::time::Instant::now();
     let (out, timings) = sim.run_timed(&trace);
     eprintln!("simulated in {:?}; analyzing ...", t0.elapsed());
@@ -156,7 +299,8 @@ fn main() {
             trace.jobs().len(),
             &stages,
         );
-        std::fs::write(path, json).expect("write bench json");
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| fail(&format!("cannot write bench json {path}: {e}")));
         eprintln!("wrote {path}");
     }
 
@@ -178,7 +322,7 @@ fn main() {
 
     if let Some(dir) = &args.svg_dir {
         let files = sc_core::svg::write_report_svgs(&report, std::path::Path::new(dir))
-            .expect("write SVGs");
+            .unwrap_or_else(|e| fail(&format!("cannot write SVGs to {dir}: {e}")));
         eprintln!("wrote {} SVG figures to {dir}", files.len());
     }
 
@@ -200,6 +344,7 @@ fn main() {
     if let Some(path) = args.out {
         let mut md = report.experiments_markdown();
         md.push_str(KNOWN_GAPS);
+        md.push_str(FAILURE_TAXONOMY);
         md.push_str("\n## Beyond the figures\n\n```text\n");
         md.push_str(&sc_core::WorkflowChain::fit(&views).render());
         md.push('\n');
@@ -220,7 +365,8 @@ fn main() {
             out.detailed.len(),
             out.stats.events
         ));
-        std::fs::write(&path, md).expect("write report");
+        std::fs::write(&path, md)
+            .unwrap_or_else(|e| fail(&format!("cannot write report {path}: {e}")));
         eprintln!("wrote {path}");
     }
 }

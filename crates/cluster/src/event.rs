@@ -9,17 +9,27 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A job arrives in the queue. The payload is the index into the
-    /// trace's job list.
+    /// trace's job list. Requeues after an injected failure reuse this
+    /// event with the same index.
     Submit(usize),
-    /// A running job terminates.
-    Finish(JobId),
+    /// A running job attempt terminates. The attempt tag lets the
+    /// driver drop finishes that went stale when an injected failure
+    /// killed the attempt first — a job can be killed and requeued more
+    /// than once, so a bare job id would be ambiguous.
+    Finish {
+        /// The finishing job.
+        job: JobId,
+        /// Which attempt (1-based) scheduled this finish.
+        attempt: u32,
+    },
     /// A scheduler wake-up: Slurm's scheduling loop runs a short,
     /// configurable latency after each submission rather than inline
     /// with it.
     Tick,
-    /// A node hardware failure: resident jobs die, the node goes
-    /// offline for repair.
-    NodeFail(crate::resources::NodeId),
+    /// An injected failure strikes. The payload indexes the
+    /// pre-computed failure schedule, which carries the cause, the
+    /// struck node, and the repair time.
+    Fault(usize),
     /// A failed node returns to service.
     NodeRepair(crate::resources::NodeId),
 }
@@ -109,10 +119,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(5.0, Event::Submit(1));
         q.push(1.0, Event::Submit(2));
-        q.push(3.0, Event::Finish(JobId(9)));
+        q.push(3.0, Event::Finish { job: JobId(9), attempt: 1 });
         assert_eq!(q.peek_time(), Some(1.0));
         assert_eq!(q.pop(), Some((1.0, Event::Submit(2))));
-        assert_eq!(q.pop(), Some((3.0, Event::Finish(JobId(9)))));
+        assert_eq!(q.pop(), Some((3.0, Event::Finish { job: JobId(9), attempt: 1 })));
         assert_eq!(q.pop(), Some((5.0, Event::Submit(1))));
         assert!(q.pop().is_none());
         assert!(q.is_empty());
@@ -123,10 +133,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(2.0, Event::Submit(10));
         q.push(2.0, Event::Submit(11));
-        q.push(2.0, Event::Finish(JobId(3)));
+        q.push(2.0, Event::Fault(3));
         assert_eq!(q.pop().unwrap().1, Event::Submit(10));
         assert_eq!(q.pop().unwrap().1, Event::Submit(11));
-        assert_eq!(q.pop().unwrap().1, Event::Finish(JobId(3)));
+        assert_eq!(q.pop().unwrap().1, Event::Fault(3));
     }
 
     #[test]

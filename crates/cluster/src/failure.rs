@@ -1,0 +1,355 @@
+//! Failure injection: the taxonomy, interarrival models, and the
+//! deterministic fleet-wide failure schedule.
+//!
+//! The paper's measurement window saw hardware behind fewer than 0.5%
+//! of job deaths, but reliability studies of comparable fleets (Kokolis
+//! et al.; Cankur et al.) show failure attribution and goodput dominate
+//! operational cost at scale. This module injects a three-class
+//! taxonomy — single-GPU Xid faults, whole-node hardware failures, and
+//! transient infrastructure blips — with per-class exponential or
+//! Weibull interarrivals.
+//!
+//! Everything is pre-scheduled: [`FailureModel::schedule`] expands the
+//! model into a sorted event list from its own seeded RNG *before* the
+//! event loop runs, so the failure sequence is a pure function of
+//! `(model, fleet, horizon)` — byte-identical at any thread count and
+//! independent of every other RNG stream in the pipeline.
+
+use crate::resources::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_stats::dist::{Exponential, Sample, Weibull};
+pub use sc_telemetry::record::FailureCause;
+use serde::{Deserialize, Serialize};
+
+/// Interarrival law for one failure class, parameterized by the mean
+/// time between failures of a single unit (node or GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Interarrival {
+    /// Memoryless arrivals — transient faults with a constant hazard.
+    Exponential {
+        /// Mean time between failures per unit, seconds.
+        mtbf_secs: f64,
+    },
+    /// Weibull arrivals — hardware wear with a non-constant hazard
+    /// (`shape < 1`: infant mortality; `shape > 1`: wear-out).
+    Weibull {
+        /// Characteristic life per unit (the 63.2nd percentile),
+        /// seconds.
+        mtbf_secs: f64,
+        /// Weibull shape parameter `k`.
+        shape: f64,
+    },
+}
+
+impl Interarrival {
+    /// Samples one fleet-level gap: a fleet of `units` identical parts
+    /// fails `units` times as often as one part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-positive (a config bug).
+    fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R, units: f64) -> f64 {
+        match *self {
+            Interarrival::Exponential { mtbf_secs } => {
+                Exponential::with_mean(mtbf_secs / units).expect("positive MTBF").sample(rng)
+            }
+            Interarrival::Weibull { mtbf_secs, shape } => {
+                Weibull::new(shape, mtbf_secs / units).expect("valid Weibull").sample(rng)
+            }
+        }
+    }
+
+    /// The per-unit MTBF parameter, seconds.
+    pub fn mtbf_secs(&self) -> f64 {
+        match *self {
+            Interarrival::Exponential { mtbf_secs } => mtbf_secs,
+            Interarrival::Weibull { mtbf_secs, .. } => mtbf_secs,
+        }
+    }
+}
+
+/// One class of the failure taxonomy: its cause label, interarrival
+/// law, and how long the struck node stays out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassModel {
+    /// The cause recorded against victims.
+    pub cause: FailureCause,
+    /// Interarrival law, per unit (GPU for [`FailureCause::GpuXid`],
+    /// node otherwise).
+    pub interarrival: Interarrival,
+    /// Node downtime after the event, seconds; 0 means the node never
+    /// leaves service (a GPU reset, not a repair ticket).
+    pub repair_secs: f64,
+}
+
+/// Automatic-requeue policy applied to victims of injected failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Global cap on requeues per job; the effective cap is the minimum
+    /// of this and the job's own `max_restarts`.
+    pub max_retries: u32,
+    /// Delay before the first requeue, seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied per additional retry (exponential backoff).
+    pub backoff_factor: f64,
+}
+
+impl RetryPolicy {
+    /// Backoff before requeue number `retry` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retry` is zero.
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        assert!(retry >= 1, "retries are 1-based");
+        self.backoff_base_secs * self.backoff_factor.powi(retry as i32 - 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff_base_secs: 60.0, backoff_factor: 2.0 }
+    }
+}
+
+/// The complete failure-injection model: taxonomy classes, the retry
+/// policy, and the schedule seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Seed for the failure schedule (independent of the trace seed).
+    pub seed: u64,
+    /// Active taxonomy classes.
+    pub classes: Vec<ClassModel>,
+    /// Requeue policy for victims.
+    pub retry: RetryPolicy,
+}
+
+impl FailureModel {
+    /// The default taxonomy, calibrated to a healthy production fleet:
+    /// node hardware fails with a slightly decreasing hazard (post
+    /// burn-in Weibull, `k = 0.9`) about once per ~92 node-days, GPUs
+    /// throw Xid faults about once per ~170 GPU-days, and transient
+    /// infra blips hit a node about once per ~60 node-days but clear in
+    /// minutes.
+    pub fn supercloud(seed: u64) -> Self {
+        FailureModel {
+            seed,
+            classes: vec![
+                ClassModel {
+                    cause: FailureCause::NodeHardware,
+                    interarrival: Interarrival::Weibull { mtbf_secs: 8.0e6, shape: 0.9 },
+                    repair_secs: 4.0 * 3600.0,
+                },
+                ClassModel {
+                    cause: FailureCause::GpuXid,
+                    interarrival: Interarrival::Exponential { mtbf_secs: 1.5e7 },
+                    repair_secs: 0.0,
+                },
+                ClassModel {
+                    cause: FailureCause::InfraTransient,
+                    interarrival: Interarrival::Exponential { mtbf_secs: 5.0e6 },
+                    repair_secs: 300.0,
+                },
+            ],
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A nodes-only model — the pre-taxonomy behaviour, for ablations
+    /// and the whole-node failure studies.
+    pub fn nodes_only(node_mtbf_secs: f64, repair_secs: f64, seed: u64) -> Self {
+        FailureModel {
+            seed,
+            classes: vec![ClassModel {
+                cause: FailureCause::NodeHardware,
+                interarrival: Interarrival::Exponential { mtbf_secs: node_mtbf_secs },
+                repair_secs,
+            }],
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Returns a copy with every class's MTBF scaled by `factor` —
+    /// `0.1` makes the fleet ten times less reliable. Used by the
+    /// `--mtbf` sweep flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn scaled_mtbf(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "MTBF scale must be positive");
+        let mut out = self.clone();
+        for c in &mut out.classes {
+            c.interarrival = match c.interarrival {
+                Interarrival::Exponential { mtbf_secs } => {
+                    Interarrival::Exponential { mtbf_secs: mtbf_secs * factor }
+                }
+                Interarrival::Weibull { mtbf_secs, shape } => {
+                    Interarrival::Weibull { mtbf_secs: mtbf_secs * factor, shape }
+                }
+            };
+        }
+        out
+    }
+
+    /// Looks up a named failure profile: `off` (no injection),
+    /// `supercloud` (the default taxonomy), `stress` (10× failure
+    /// rates), or `transient` (blip-dominated). Returns `None` for an
+    /// unknown name; `Some(None)` means injection disabled.
+    pub fn profile(name: &str, seed: u64) -> Option<Option<FailureModel>> {
+        match name {
+            "off" | "none" => Some(None),
+            "supercloud" | "default" => Some(Some(FailureModel::supercloud(seed))),
+            "stress" => Some(Some(FailureModel::supercloud(seed).scaled_mtbf(0.1))),
+            "transient" => {
+                let mut m = FailureModel::supercloud(seed);
+                m.classes.retain(|c| c.cause == FailureCause::InfraTransient);
+                m.classes[0].interarrival = Interarrival::Exponential { mtbf_secs: 1.0e6 };
+                Some(Some(m))
+            }
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`FailureModel::profile`], for usage messages.
+    pub const PROFILE_NAMES: &'static str = "off|supercloud|stress|transient";
+
+    /// Expands the model into the fleet-wide failure schedule over
+    /// `[0, horizon)`, sorted by time with deterministic tie-breaking.
+    ///
+    /// Each class samples from its own `StdRng` stream (derived from
+    /// the model seed and the class index), so adding or removing a
+    /// class never perturbs the others' arrival times.
+    pub fn schedule(&self, nodes: u32, gpus: u32, horizon: f64) -> Vec<ScheduledFailure> {
+        let mut out = Vec::new();
+        for class in &self.classes {
+            let units = match class.cause {
+                FailureCause::GpuXid => gpus as f64,
+                _ => nodes as f64,
+            };
+            if units <= 0.0 {
+                continue;
+            }
+            // Stream seeded by the taxonomy slot (not the list
+            // position): adding or removing another class never
+            // perturbs this one's arrivals.
+            let slot = class.cause.index() as u64 + 1;
+            let mut rng = StdRng::seed_from_u64(self.seed ^ slot.wrapping_mul(0x9e37_79b9));
+            let mut t = 0.0;
+            loop {
+                t += class.interarrival.sample_gap(&mut rng, units);
+                if t >= horizon {
+                    break;
+                }
+                out.push(ScheduledFailure {
+                    time: t,
+                    cause: class.cause,
+                    node: NodeId(rng.gen_range(0..nodes)),
+                    pick: rng.gen::<u64>(),
+                    repair_secs: class.repair_secs,
+                });
+            }
+        }
+        // Total order: time, then taxonomy slot, then node — every key
+        // is deterministic, so ties cannot depend on sort internals.
+        out.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("finite failure times")
+                .then(a.cause.index().cmp(&b.cause.index()))
+                .then(a.node.cmp(&b.node))
+        });
+        out
+    }
+}
+
+/// One pre-scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFailure {
+    /// When it strikes, seconds from trace start.
+    pub time: f64,
+    /// Taxonomy class.
+    pub cause: FailureCause,
+    /// The struck node.
+    pub node: NodeId,
+    /// Victim-selection entropy (which resident job a GPU fault hits).
+    pub pick: u64,
+    /// Node downtime, seconds; 0 keeps the node in service.
+    pub repair_secs: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let m = FailureModel::supercloud(7);
+        let a = m.schedule(224, 448, 1.0e7);
+        let b = m.schedule(224, 448, 1.0e7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "expected failures over a 115-day horizon");
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time, "schedule must be sorted");
+        }
+        for f in &a {
+            assert!(f.node.0 < 224);
+            assert!(f.time >= 0.0 && f.time < 1.0e7);
+        }
+    }
+
+    #[test]
+    fn class_streams_are_independent() {
+        // Removing one class must not move the others' arrival times.
+        let full = FailureModel::supercloud(3);
+        let mut no_xid = full.clone();
+        no_xid.classes.retain(|c| c.cause != FailureCause::GpuXid);
+        let times = |s: &[ScheduledFailure], cause: FailureCause| -> Vec<f64> {
+            s.iter().filter(|f| f.cause == cause).map(|f| f.time).collect()
+        };
+        let a = full.schedule(224, 448, 5.0e6);
+        let b = no_xid.schedule(224, 448, 5.0e6);
+        assert_eq!(times(&a, FailureCause::NodeHardware), times(&b, FailureCause::NodeHardware));
+        assert_eq!(
+            times(&a, FailureCause::InfraTransient),
+            times(&b, FailureCause::InfraTransient)
+        );
+        assert!(times(&b, FailureCause::GpuXid).is_empty());
+    }
+
+    #[test]
+    fn rate_tracks_fleet_size_and_mtbf() {
+        let m = FailureModel::nodes_only(1.0e6, 3600.0, 1);
+        let horizon = 2.0e7;
+        let small = m.schedule(10, 20, horizon).len() as f64;
+        let big = m.schedule(100, 200, horizon).len() as f64;
+        // Expected counts: nodes * horizon / mtbf = 200 and 2000.
+        assert!((small - 200.0).abs() < 60.0, "small fleet count {small}");
+        assert!((big / small - 10.0).abs() < 2.0, "rate must scale with nodes");
+        let fast = m.scaled_mtbf(0.5).schedule(10, 20, horizon).len() as f64;
+        assert!((fast / small - 2.0).abs() < 0.5, "halving MTBF must double failures");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy { max_retries: 3, backoff_base_secs: 60.0, backoff_factor: 2.0 };
+        assert_eq!(r.backoff_secs(1), 60.0);
+        assert_eq!(r.backoff_secs(2), 120.0);
+        assert_eq!(r.backoff_secs(3), 240.0);
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        assert!(FailureModel::profile("off", 1).unwrap().is_none());
+        assert!(FailureModel::profile("supercloud", 1).unwrap().is_some());
+        let stress = FailureModel::profile("stress", 1).unwrap().unwrap();
+        let base = FailureModel::supercloud(1);
+        assert!(
+            stress.classes[0].interarrival.mtbf_secs() < base.classes[0].interarrival.mtbf_secs()
+        );
+        let transient = FailureModel::profile("transient", 1).unwrap().unwrap();
+        assert_eq!(transient.classes.len(), 1);
+        assert!(FailureModel::profile("bogus", 1).is_none());
+    }
+}

@@ -9,8 +9,11 @@
 //! - [`resources`]: node-level accounting and placement.
 //! - [`event`]: the discrete-event queue.
 //! - [`scheduler`]: FCFS + EASY backfill.
+//! - [`failure`]: the injected-failure taxonomy (GPU Xid faults, node
+//!   hardware, transient infra) and its deterministic schedule.
 //! - [`sim`]: the driver that replays a [`sc_workload::Trace`] and
-//!   produces the joined analysis [`sc_telemetry::Dataset`].
+//!   produces the joined analysis [`sc_telemetry::Dataset`], with
+//!   retry/requeue recovery, checkpoint resume, and a goodput ledger.
 //!
 //! # Example
 //!
@@ -27,12 +30,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod failure;
 pub mod resources;
 pub mod scheduler;
 pub mod sim;
 pub mod spec;
 
+pub use failure::{
+    ClassModel, FailureCause, FailureModel, Interarrival, RetryPolicy, ScheduledFailure,
+};
 pub use resources::{Allocation, ClusterState, NodeAlloc, NodeId, NodeState};
 pub use scheduler::{QueuedJob, RunningJob, SchedulePass, SchedulePolicy, Scheduler};
-pub use sim::{DetailedJobStats, NodeFailureModel, SimConfig, SimOutput, SimStats, Simulation};
+pub use sim::{
+    CheckpointPolicy, DetailedJobStats, GoodputAccounting, JobFate, SimConfig, SimOutput, SimStats,
+    Simulation,
+};
 pub use spec::{ClusterSpec, GpuSpec, NodeSpec, SlowTierSpec};

@@ -297,6 +297,8 @@ mod tests {
             truth_params: None,
             idle_gpus: 0,
             truth_seed: 0,
+            checkpointable: false,
+            max_restarts: 0,
         }
     }
 

@@ -32,6 +32,10 @@ pub struct RunningJob {
     pub start_time: f64,
     /// Scheduler's upper bound on the end (start + requested limit).
     pub estimated_end: f64,
+    /// Run-time stretch factor of the tier the job landed on (1.0 on
+    /// the fast tier) — needed to convert elapsed wall-clock back into
+    /// completed work when a failure interrupts the job.
+    pub stretch: f64,
 }
 
 /// Decisions produced by one scheduling pass.
@@ -182,6 +186,19 @@ impl Scheduler {
         ids.sort();
         ids
     }
+
+    /// Running jobs holding at least one GPU on `node` — the candidate
+    /// victims of a single-GPU Xid fault there.
+    pub fn gpu_residents_on_node(&self, node: crate::resources::NodeId) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.alloc.parts.iter().any(|p| p.node == node && p.gpus > 0))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +223,8 @@ mod tests {
             truth_params: None,
             idle_gpus: 0,
             truth_seed: 0,
+            checkpointable: false,
+            max_restarts: 0,
         }
     }
 
@@ -254,6 +273,7 @@ mod tests {
                 alloc: p.started[0].1.clone(),
                 start_time: 0.0,
                 estimated_end: 1000.0,
+                stretch: 1.0,
             },
         );
         s.submit(1, 1.0);
@@ -279,6 +299,7 @@ mod tests {
                 alloc: p.started[0].1.clone(),
                 start_time: 0.0,
                 estimated_end: 1000.0,
+                stretch: 1.0,
             },
         );
         s.submit(1, 1.0);
@@ -307,6 +328,7 @@ mod tests {
                 alloc: p.started[0].1.clone(),
                 start_time: 0.0,
                 estimated_end: 1000.0,
+                stretch: 1.0,
             },
         );
         s.submit(1, 1.0);
@@ -330,6 +352,7 @@ mod tests {
                 alloc: p.started[0].1.clone(),
                 start_time: 0.0,
                 estimated_end: 100.0,
+                stretch: 1.0,
             },
         );
         assert_eq!(s.running_len(), 1);

@@ -3,12 +3,13 @@
 //! the characterization consumes.
 
 use crate::event::{Event, EventQueue};
+use crate::failure::{FailureModel, ScheduledFailure};
 use crate::resources::ClusterState;
 use crate::scheduler::{RunningJob, Scheduler};
 use crate::spec::ClusterSpec;
 use sc_telemetry::dataset::{Dataset, MIN_GPU_JOB_RUNTIME_SECS};
 use sc_telemetry::phases::{active_variability, phase_stats, ActiveVariability, PhaseStats};
-use sc_telemetry::record::{ExitStatus, GpuJobRecord, JobId, SchedulerRecord};
+use sc_telemetry::record::{ExitStatus, FailureCause, GpuJobRecord, JobId, SchedulerRecord};
 use sc_telemetry::sampler::GpuSampler;
 use sc_workload::{JobSpec, PlannedOutcome, Trace};
 use serde::{Deserialize, Serialize};
@@ -33,23 +34,29 @@ pub struct SimConfig {
     pub sched_latency_secs: f64,
     /// Queue discipline (ablation knob; production is EASY backfill).
     pub policy: crate::scheduler::SchedulePolicy,
-    /// Optional correlated node-failure model. `None` (the default)
-    /// matches the paper's measurement window, where hardware accounted
-    /// for under 0.5% of job failures and those are already injected
-    /// per-job by the trace; enable this for failure-domain studies.
-    pub node_failures: Option<NodeFailureModel>,
+    /// Optional failure-injection model. `None` (the default) matches
+    /// the paper's measurement window, where hardware accounted for
+    /// under 0.5% of job failures and those are already injected
+    /// per-job by the trace; enable this for reliability and goodput
+    /// studies.
+    pub failures: Option<FailureModel>,
+    /// Optional checkpoint/restart policy. With it set, checkpointable
+    /// jobs killed by an injected failure resume from their last
+    /// completed interval instead of restarting from scratch; the saved
+    /// work counts as useful in the goodput ledger.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
-/// Correlated node-failure injection: whole nodes die and take their
-/// resident jobs with them, then return after repair.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NodeFailureModel {
-    /// Mean time between failures per node, seconds.
-    pub node_mtbf_secs: f64,
-    /// Repair time, seconds.
-    pub repair_secs: f64,
-    /// Seed for the failure schedule.
-    pub seed: u64,
+/// Periodic checkpointing as the event loop models it: a fixed
+/// wall-clock interval between checkpoint writes. Derive the interval
+/// from a [`sc_stats`]-style optimum (Young/Daly) or set it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Wall-clock seconds between checkpoint writes.
+    pub interval_secs: f64,
+    /// Seconds one checkpoint write takes (reported as overhead in the
+    /// goodput ledger; it does not stretch the simulated run).
+    pub write_secs: f64,
 }
 
 impl Default for SimConfig {
@@ -60,7 +67,8 @@ impl Default for SimConfig {
             gpu_sample_period_secs: 0.1,
             sched_latency_secs: 3.0,
             policy: crate::scheduler::SchedulePolicy::EasyBackfill,
-            node_failures: None,
+            failures: None,
+            checkpoint: None,
         }
     }
 }
@@ -92,6 +100,86 @@ pub struct SimStats {
     pub makespan_secs: f64,
     /// Jobs placed on the slow tier (0 without a configured tier).
     pub slow_tier_jobs: usize,
+    /// Injected failures that killed at least one job attempt.
+    pub injected_failures: u64,
+    /// Injected failures that struck an empty or already-down target
+    /// and killed nothing.
+    pub absorbed_faults: u64,
+    /// Automatic requeues issued by the retry policy.
+    pub requeues: u64,
+}
+
+/// The goodput ledger: every allocated GPU-second attributed to exactly
+/// one bucket, across **all** attempts of every job (the joined dataset
+/// only shows final attempts).
+///
+/// `useful` is active GPU time whose work survived — the attempt
+/// reached its natural end, or a checkpoint preserved it. `lost` is
+/// active GPU time destroyed by an infrastructure failure. `idle` is
+/// allocated-but-idle GPU time (the paper's Fig. 6 idle phases, plus
+/// wholly idle GPUs of multi-GPU jobs). By construction
+/// `useful + lost + idle == allocated`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GoodputAccounting {
+    /// Total allocated GPU-seconds over all attempts.
+    pub allocated_gpu_secs: f64,
+    /// Active GPU-seconds whose work survived.
+    pub useful_gpu_secs: f64,
+    /// Active GPU-seconds destroyed by failures.
+    pub lost_gpu_secs: f64,
+    /// Allocated GPU-seconds the GPUs sat idle.
+    pub idle_gpu_secs: f64,
+    /// GPU-seconds spent writing checkpoints (informational; a subset
+    /// of `useful`, not a fourth bucket).
+    pub checkpoint_write_gpu_secs: f64,
+    /// `lost_gpu_secs` attributed per cause, indexed by
+    /// [`FailureCause::index`].
+    pub lost_by_cause_gpu_secs: [f64; 3],
+    /// Job-attempt deaths per cause, indexed by [`FailureCause::index`].
+    pub deaths_by_cause: [u64; 3],
+}
+
+impl GoodputAccounting {
+    /// Absolute imbalance of the ledger:
+    /// `|allocated − (useful + lost + idle)|`. Zero up to float
+    /// rounding; tests assert it stays below `1e-6 × allocated`.
+    pub fn balance_error(&self) -> f64 {
+        (self.allocated_gpu_secs - (self.useful_gpu_secs + self.lost_gpu_secs + self.idle_gpu_secs))
+            .abs()
+    }
+
+    /// Goodput as a fraction of allocated GPU time (1.0 with nothing
+    /// allocated — nothing was wasted).
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.allocated_gpu_secs <= 0.0 {
+            1.0
+        } else {
+            self.useful_gpu_secs / self.allocated_gpu_secs
+        }
+    }
+
+    /// Total injected deaths across causes.
+    pub fn total_deaths(&self) -> u64 {
+        self.deaths_by_cause.iter().sum()
+    }
+}
+
+/// How one job's life ended, across all its attempts — the
+/// failure-attribution record the goodput report aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobFate {
+    /// The job.
+    pub job_id: JobId,
+    /// Attempts started (1 = never disturbed).
+    pub attempts: u32,
+    /// Injected failures that killed one of its attempts.
+    pub injected_failures: u32,
+    /// Final exit status (what the accounting log shows).
+    pub exit: ExitStatus,
+    /// Cause of the last injected death, if any. Set together with a
+    /// terminal `NodeFailure` exit when the retry budget ran out; also
+    /// set for jobs that recovered and later ended some other way.
+    pub last_cause: Option<FailureCause>,
 }
 
 /// Everything the simulation produces.
@@ -103,6 +191,10 @@ pub struct SimOutput {
     pub detailed: Vec<DetailedJobStats>,
     /// Simulation health counters.
     pub stats: SimStats,
+    /// Per-job fates in completion order (every job exactly once).
+    pub fates: Vec<JobFate>,
+    /// The goodput ledger over all attempts.
+    pub goodput: GoodputAccounting,
 }
 
 /// Wall-clock timings of one simulation run, split by stage.
@@ -127,6 +219,21 @@ struct Completion {
     start_time: f64,
     end_time: f64,
     exit: ExitStatus,
+}
+
+/// Per-job recovery bookkeeping, indexed by trace index.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobProgress {
+    /// Attempts started so far.
+    attempts: u32,
+    /// Requeues consumed so far.
+    retries: u32,
+    /// Injected failures that killed one of this job's attempts.
+    injected_failures: u32,
+    /// Work-seconds (un-stretched) preserved by checkpoints.
+    completed_work: f64,
+    /// Cause of the last injected death.
+    last_cause: Option<FailureCause>,
 }
 
 /// Everything the epilog derives from one completion — a pure function
@@ -188,29 +295,33 @@ impl Simulation {
         let sampler = GpuSampler::with_period(self.config.gpu_sample_period_secs);
 
         let mut completions: Vec<Completion> = Vec::with_capacity(jobs.len());
-        let mut pending_end: HashMap<JobId, (f64, ExitStatus)> = HashMap::new();
-        let mut killed: std::collections::HashSet<JobId> = std::collections::HashSet::new();
+        let mut fates: Vec<JobFate> = Vec::with_capacity(jobs.len());
+        let mut progress: Vec<JobProgress> = vec![JobProgress::default(); jobs.len()];
+        // A job's pre-scheduled end, tagged with the attempt that
+        // scheduled it. A `Finish` whose attempt does not match (or
+        // whose entry is gone) is stale — the attempt already died to a
+        // failure — and is absorbed. The tag, not a kill-set, is what
+        // keeps double failures and requeues from confusing stale
+        // finishes with live ones.
+        let mut pending_end: HashMap<JobId, (f64, ExitStatus, u32)> = HashMap::new();
         let mut down: std::collections::HashSet<crate::resources::NodeId> =
             std::collections::HashSet::new();
         let mut stats = SimStats::default();
+        let mut goodput = GoodputAccounting::default();
 
-        // Pre-schedule correlated node failures, if enabled.
-        if let Some(model) = self.config.node_failures {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(model.seed);
-            let total_nodes = self.config.cluster.total_nodes() as usize;
-            let fleet_rate = total_nodes as f64 / model.node_mtbf_secs;
-            let horizon = trace.spec().duration_secs() * 1.2;
-            let mut t = 0.0;
-            loop {
-                let u: f64 = 1.0 - rng.gen::<f64>();
-                t += -u.ln() / fleet_rate;
-                if t >= horizon {
-                    break;
-                }
-                let node = crate::resources::NodeId(rng.gen_range(0..total_nodes as u32));
-                queue.push(t, Event::NodeFail(node));
-            }
+        // Pre-schedule injected failures, if enabled. The schedule is a
+        // pure function of (model, fleet, horizon) — see
+        // [`FailureModel::schedule`].
+        let failure_schedule: Vec<ScheduledFailure> = match &self.config.failures {
+            Some(model) => model.schedule(
+                self.config.cluster.total_nodes(),
+                self.config.cluster.total_gpus(),
+                trace.spec().duration_secs() * 1.2,
+            ),
+            None => Vec::new(),
+        };
+        for (i, f) in failure_schedule.iter().enumerate() {
+            queue.push(f.time, Event::Fault(i));
         }
 
         while let Some((now, event)) = queue.pop() {
@@ -223,45 +334,95 @@ impl Simulation {
                     continue;
                 }
                 Event::Tick => {}
-                Event::Finish(job_id) => {
-                    if killed.remove(&job_id) {
-                        // This job already died with its node; the
-                        // pre-scheduled finish is stale.
-                        continue;
+                Event::Finish { job, attempt } => {
+                    match pending_end.get(&job) {
+                        Some(&(_, _, live)) if live == attempt => {}
+                        _ => continue, // stale: the attempt died earlier
                     }
-                    let running = scheduler.finish(job_id);
+                    let running = scheduler.finish(job);
                     cluster.release(&running.alloc);
-                    let (end_time, exit) = *pending_end.get(&job_id).expect("end decided at start");
+                    let (end_time, exit, _) = pending_end.remove(&job).expect("checked above");
                     debug_assert!((end_time - now).abs() < 1e-6);
+                    let spec = &jobs[running.trace_idx];
+                    self.settle_attempt(
+                        &mut goodput,
+                        spec,
+                        now - running.start_time,
+                        exit_cause(exit),
+                    );
+                    let prog = progress[running.trace_idx];
                     completions.push(Completion {
                         trace_idx: running.trace_idx,
                         start_time: running.start_time,
                         end_time,
                         exit,
                     });
-                    pending_end.remove(&job_id);
+                    fates.push(JobFate {
+                        job_id: job,
+                        attempts: prog.attempts,
+                        injected_failures: prog.injected_failures,
+                        exit,
+                        last_cause: exit_cause(exit).or(prog.last_cause),
+                    });
                 }
-                Event::NodeFail(node) => {
-                    if !down.insert(node) {
-                        continue; // already down; failure absorbed
+                Event::Fault(fi) => {
+                    let f = failure_schedule[fi];
+                    if down.contains(&f.node) {
+                        stats.absorbed_faults += 1;
+                        continue; // node already out of service
                     }
-                    // Kill every resident job: the accounting log shows
-                    // a node failure at `now`.
-                    for job_id in scheduler.running_on_node(node) {
-                        let running = scheduler.finish(job_id);
-                        cluster.release(&running.alloc);
-                        completions.push(Completion {
-                            trace_idx: running.trace_idx,
-                            start_time: running.start_time,
-                            end_time: now.max(running.start_time + 1.0),
-                            exit: ExitStatus::NodeFailure,
-                        });
-                        pending_end.remove(&job_id);
-                        killed.insert(job_id);
+                    if f.cause == FailureCause::GpuXid {
+                        // A single GPU faults: exactly one GPU-holding
+                        // resident dies; the node stays in service.
+                        let victims = scheduler.gpu_residents_on_node(f.node);
+                        if victims.is_empty() {
+                            stats.absorbed_faults += 1;
+                            continue;
+                        }
+                        let victim = victims[(f.pick % victims.len() as u64) as usize];
+                        self.kill_attempt(
+                            victim,
+                            f.cause,
+                            now,
+                            &mut scheduler,
+                            &mut cluster,
+                            jobs,
+                            &mut progress,
+                            &mut pending_end,
+                            &mut goodput,
+                            &mut stats,
+                            &mut queue,
+                            &mut completions,
+                            &mut fates,
+                        );
+                    } else {
+                        // Whole-node event: every resident dies and the
+                        // node leaves service for repair.
+                        let residents = scheduler.running_on_node(f.node);
+                        if residents.is_empty() {
+                            stats.absorbed_faults += 1;
+                        }
+                        for job_id in residents {
+                            self.kill_attempt(
+                                job_id,
+                                f.cause,
+                                now,
+                                &mut scheduler,
+                                &mut cluster,
+                                jobs,
+                                &mut progress,
+                                &mut pending_end,
+                                &mut goodput,
+                                &mut stats,
+                                &mut queue,
+                                &mut completions,
+                                &mut fates,
+                            );
+                        }
+                        down.insert(f.node);
+                        cluster.set_offline(f.node);
+                        queue.push(now + f.repair_secs.max(1.0), Event::NodeRepair(f.node));
                     }
-                    cluster.set_offline(node);
-                    let repair = self.config.node_failures.expect("failures enabled").repair_secs;
-                    queue.push(now + repair, Event::NodeRepair(node));
                 }
                 Event::NodeRepair(node) => {
                     down.remove(&node);
@@ -290,7 +451,10 @@ impl Simulation {
                     }
                     _ => 1.0,
                 };
-                let (end_time, exit) = self.decide_end(trace, job, now, stretch);
+                progress[idx].attempts += 1;
+                let attempt = progress[idx].attempts;
+                let (end_time, exit) =
+                    self.decide_end(trace, job, now, stretch, progress[idx].completed_work);
                 scheduler.mark_running(
                     job.job_id,
                     RunningJob {
@@ -298,10 +462,11 @@ impl Simulation {
                         alloc,
                         start_time: now,
                         estimated_end: now + job.time_limit,
+                        stretch,
                     },
                 );
-                pending_end.insert(job.job_id, (end_time, exit));
-                queue.push(end_time, Event::Finish(job.job_id));
+                pending_end.insert(job.job_id, (end_time, exit, attempt));
+                queue.push(end_time, Event::Finish { job: job.job_id, attempt });
             }
             stats.peak_gpus_in_use = stats.peak_gpus_in_use.max(cluster.gpus_in_use());
             if now > stats.makespan_secs {
@@ -310,6 +475,11 @@ impl Simulation {
         }
         assert_eq!(scheduler.running_len(), 0, "all jobs must terminate");
         assert_eq!(scheduler.pending_len(), 0, "no job may be left queued");
+        assert_eq!(fates.len(), jobs.len(), "every job must have exactly one fate");
+        debug_assert!(
+            goodput.balance_error() <= 1e-6 * goodput.allocated_gpu_secs.max(1.0),
+            "goodput ledger out of balance: {goodput:?}"
+        );
         let event_loop_secs = wall.elapsed().as_secs_f64();
 
         // Batch telemetry synthesis, decoupled from the event loop.
@@ -346,28 +516,146 @@ impl Simulation {
         let telemetry_secs = batch_t0.elapsed().as_secs_f64();
 
         (
-            SimOutput { dataset: Dataset::join(sched_records, gpu_records), detailed, stats },
+            SimOutput {
+                dataset: Dataset::join(sched_records, gpu_records),
+                detailed,
+                stats,
+                fates,
+                goodput,
+            },
             SimTimings { event_loop_secs, telemetry_secs },
         )
+    }
+
+    /// Wall-clock seconds of an `elapsed`-second attempt that a
+    /// checkpoint preserved: the last completed interval boundary, or 0
+    /// when the job does not checkpoint.
+    fn checkpoint_saved_wall(&self, job: &JobSpec, elapsed: f64) -> f64 {
+        match self.config.checkpoint {
+            Some(cp) if job.checkpointable && cp.interval_secs > 0.0 => {
+                ((elapsed / cp.interval_secs).floor() * cp.interval_secs).min(elapsed)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Posts one finished attempt to the goodput ledger. `failure` is
+    /// the cause if an infrastructure failure ended the attempt; `None`
+    /// means the work survived.
+    fn settle_attempt(
+        &self,
+        goodput: &mut GoodputAccounting,
+        job: &JobSpec,
+        elapsed: f64,
+        failure: Option<FailureCause>,
+    ) {
+        let d = elapsed.max(0.0);
+        let gpus = job.gpus as f64;
+        let idle_g = job.idle_gpus.min(job.gpus) as f64;
+        let active_g = gpus - idle_g;
+        goodput.allocated_gpu_secs += gpus * d;
+        goodput.idle_gpu_secs += idle_g * d;
+        match failure {
+            None => goodput.useful_gpu_secs += active_g * d,
+            Some(cause) => {
+                let saved = self.checkpoint_saved_wall(job, d);
+                goodput.useful_gpu_secs += active_g * saved;
+                let lost = active_g * (d - saved);
+                goodput.lost_gpu_secs += lost;
+                goodput.lost_by_cause_gpu_secs[cause.index()] += lost;
+                goodput.deaths_by_cause[cause.index()] += 1;
+                if saved > 0.0 {
+                    if let Some(cp) = self.config.checkpoint {
+                        goodput.checkpoint_write_gpu_secs +=
+                            (saved / cp.interval_secs) * cp.write_secs * gpus;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kills one running attempt at `now` because of an injected
+    /// failure: releases its resources, settles the ledger, banks any
+    /// checkpointed work, and either requeues the job (with exponential
+    /// backoff) or records its terminal node-failure death once the
+    /// retry budget is spent.
+    #[allow(clippy::too_many_arguments)]
+    fn kill_attempt(
+        &self,
+        job_id: JobId,
+        cause: FailureCause,
+        now: f64,
+        scheduler: &mut Scheduler,
+        cluster: &mut ClusterState,
+        jobs: &[JobSpec],
+        progress: &mut [JobProgress],
+        pending_end: &mut HashMap<JobId, (f64, ExitStatus, u32)>,
+        goodput: &mut GoodputAccounting,
+        stats: &mut SimStats,
+        queue: &mut EventQueue,
+        completions: &mut Vec<Completion>,
+        fates: &mut Vec<JobFate>,
+    ) {
+        let running = scheduler.finish(job_id);
+        cluster.release(&running.alloc);
+        pending_end.remove(&job_id);
+        let job = &jobs[running.trace_idx];
+        let elapsed = (now - running.start_time).max(0.0);
+        self.settle_attempt(goodput, job, elapsed, Some(cause));
+        let saved_wall = self.checkpoint_saved_wall(job, elapsed);
+        let prog = &mut progress[running.trace_idx];
+        // Saved wall-clock converts back to work units through the
+        // tier's stretch factor, so a checkpoint taken on the slow tier
+        // resumes correctly anywhere.
+        prog.completed_work += saved_wall / running.stretch;
+        prog.injected_failures += 1;
+        prog.last_cause = Some(cause);
+        stats.injected_failures += 1;
+        let retry = self.config.failures.as_ref().expect("kill implies failures on").retry;
+        let cap = retry.max_retries.min(job.max_restarts);
+        if prog.retries < cap {
+            prog.retries += 1;
+            stats.requeues += 1;
+            queue.push(now + retry.backoff_secs(prog.retries), Event::Submit(running.trace_idx));
+        } else {
+            completions.push(Completion {
+                trace_idx: running.trace_idx,
+                start_time: running.start_time,
+                end_time: now.max(running.start_time + 1.0),
+                exit: ExitStatus::NodeFailure,
+            });
+            fates.push(JobFate {
+                job_id,
+                attempts: prog.attempts,
+                injected_failures: prog.injected_failures,
+                exit: ExitStatus::NodeFailure,
+                last_cause: Some(cause),
+            });
+        }
     }
 
     /// Decides when and how a started job ends. `stretch ≥ 1` scales
     /// the job's productive run (slow-tier placement); the wall-clock
     /// limit is a property of the queue and never stretches.
+    /// `completed_work` is checkpoint-preserved work (un-stretched
+    /// seconds) from earlier attempts; with it zero the result is
+    /// bit-identical to a fresh start.
     fn decide_end(
         &self,
         trace: &Trace,
         job: &JobSpec,
         start: f64,
         stretch: f64,
+        completed_work: f64,
     ) -> (f64, ExitStatus) {
         if trace.is_hardware_victim(job.job_id) {
             // The node dies somewhere inside the natural run time.
-            let natural = (job.outcome.run_time(job.time_limit) * stretch).max(1.0);
+            let natural =
+                ((job.outcome.run_time(job.time_limit) - completed_work) * stretch).max(1.0);
             let frac = 0.05 + 0.9 * hash_unit(job.truth_seed ^ 0xdead_beef);
             return (start + natural * frac, ExitStatus::NodeFailure);
         }
-        let stretched = |secs: f64| secs * stretch;
+        let stretched = |secs: f64| (secs - completed_work) * stretch;
         let (run, exit) = match job.outcome {
             PlannedOutcome::Complete { work_secs } => {
                 if stretched(work_secs) < job.time_limit {
@@ -390,6 +678,8 @@ impl Simulation {
                     (job.time_limit, ExitStatus::Timeout)
                 }
             }
+            // A session runs to its (fresh, per-attempt) limit no
+            // matter how much earlier work a checkpoint preserved.
             PlannedOutcome::RunUntilTimeout => (job.time_limit, ExitStatus::Timeout),
         };
         (start + run.max(1.0), exit)
@@ -444,6 +734,13 @@ impl Simulation {
         }
         JobEpilog { sched, gpu, detailed }
     }
+}
+
+/// The failure cause attributed to a naturally-decided exit: the
+/// trace's per-job hardware victims die to node hardware; every other
+/// exit is user or queue behaviour, not an infrastructure death.
+fn exit_cause(exit: ExitStatus) -> Option<FailureCause> {
+    (exit == ExitStatus::NodeFailure).then_some(FailureCause::NodeHardware)
 }
 
 /// Hashes a seed to a unit-interval float, for deterministic per-job
@@ -601,32 +898,109 @@ mod tests {
         let trace = Trace::generate(&spec, 77);
         let sim = Simulation::new(SimConfig {
             detailed_series_jobs: 0,
-            node_failures: Some(NodeFailureModel {
-                // Aggressive MTBF so the 125-day window sees many
-                // failures even at 1% job scale.
-                node_mtbf_secs: 3_000_000.0,
-                repair_secs: 4.0 * 3600.0,
-                seed: 5,
-            }),
+            // Aggressive MTBF so the 125-day window sees many failures
+            // even at 1% job scale.
+            failures: Some(FailureModel::nodes_only(3_000_000.0, 4.0 * 3600.0, 5)),
             ..Default::default()
         });
         let out = sim.run(&trace);
         // Every job still terminates exactly once.
         assert_eq!(out.dataset.funnel().total_jobs, trace.jobs().len());
+        assert_eq!(out.fates.len(), trace.jobs().len());
+        assert!(out.stats.injected_failures > 0, "no failures injected");
+        // The retry policy requeued victims, and most of them survived:
+        // terminal node-failure deaths stay rare.
+        assert!(out.stats.requeues > 0, "no victims were requeued");
+        assert!(out.fates.iter().any(|f| f.attempts > 1 && f.exit != ExitStatus::NodeFailure));
         let node_deaths = out
             .dataset
             .records()
             .iter()
             .filter(|r| r.sched.exit == ExitStatus::NodeFailure)
             .count();
-        // Correlated failures add to the per-job victims.
-        assert!(node_deaths > 0, "no node-failure deaths recorded");
         let frac = node_deaths as f64 / out.dataset.funnel().total_jobs as f64;
         assert!(frac < 0.1, "node failures dominate: {frac}");
+        // The goodput ledger balances and attributes the losses.
+        assert!(out.goodput.lost_gpu_secs > 0.0);
+        assert!(
+            out.goodput.balance_error() <= 1e-6 * out.goodput.allocated_gpu_secs,
+            "ledger imbalance: {:?}",
+            out.goodput
+        );
+        assert_eq!(
+            out.goodput.deaths_by_cause[FailureCause::NodeHardware.index()],
+            out.goodput.total_deaths(),
+            "nodes-only model must attribute everything to node hardware"
+        );
         // Determinism holds with failures enabled.
         let out2 = sim.run(&trace);
         assert_eq!(out.dataset.records().len(), out2.dataset.records().len());
         assert_eq!(out.stats, out2.stats);
+        assert_eq!(out.fates, out2.fates);
+        assert_eq!(out.goodput, out2.goodput);
+    }
+
+    #[test]
+    fn full_taxonomy_attributes_losses_per_cause() {
+        let spec = WorkloadSpec::supercloud().scaled(0.01);
+        let trace = Trace::generate(&spec, 21);
+        let sim = Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            failures: Some(FailureModel::supercloud(9).scaled_mtbf(0.05)),
+            ..Default::default()
+        });
+        let out = sim.run(&trace);
+        assert_eq!(out.fates.len(), trace.jobs().len());
+        assert!(out.stats.injected_failures > 0);
+        // With all three classes at stress rates, at least two causes
+        // should claim victims over a 125-day window.
+        let active_causes = out.goodput.deaths_by_cause.iter().filter(|&&d| d > 0).count();
+        assert!(active_causes >= 2, "deaths: {:?}", out.goodput.deaths_by_cause);
+        assert!(out.goodput.balance_error() <= 1e-6 * out.goodput.allocated_gpu_secs);
+    }
+
+    #[test]
+    fn checkpointing_converts_lost_work_into_useful_work() {
+        let spec = WorkloadSpec::supercloud().scaled(0.01);
+        let trace = Trace::generate(&spec, 42);
+        let failures = Some(FailureModel::supercloud(3).scaled_mtbf(0.05));
+        let base = Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            failures: failures.clone(),
+            ..Default::default()
+        })
+        .run(&trace);
+        let ckpt = Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            failures,
+            checkpoint: Some(CheckpointPolicy { interval_secs: 1800.0, write_secs: 30.0 }),
+            ..Default::default()
+        })
+        .run(&trace);
+        assert!(base.goodput.lost_gpu_secs > 0.0);
+        assert!(
+            ckpt.goodput.lost_gpu_secs < base.goodput.lost_gpu_secs,
+            "checkpointing must reduce lost work: {} vs {}",
+            ckpt.goodput.lost_gpu_secs,
+            base.goodput.lost_gpu_secs
+        );
+        assert!(ckpt.goodput.checkpoint_write_gpu_secs > 0.0);
+        assert!(ckpt.goodput.balance_error() <= 1e-6 * ckpt.goodput.allocated_gpu_secs);
+    }
+
+    #[test]
+    fn disabled_model_keeps_goodput_ledger_clean() {
+        let (_, out) = run_small(11);
+        assert_eq!(out.stats.injected_failures, 0);
+        assert_eq!(out.stats.requeues, 0);
+        assert!(out.fates.iter().all(|f| f.attempts == 1 && f.injected_failures == 0));
+        // Only the trace's own hardware victims register as losses.
+        assert_eq!(
+            out.goodput.total_deaths() as usize,
+            out.stats.hardware_failures,
+            "without injection, deaths are exactly the trace victims"
+        );
+        assert!(out.goodput.balance_error() <= 1e-6 * out.goodput.allocated_gpu_secs);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct AnalysisReport {
     pub fig16: Fig16,
     /// Fig. 17 — per-user lifecycle structure.
     pub fig17: Fig17,
+    /// Goodput and failure attribution (reliability extension; not a
+    /// paper figure).
+    pub goodput: GoodputFig,
     /// The per-user statistics the user-level figures were computed
     /// from.
     pub users: Vec<UserStats>,
@@ -79,6 +82,7 @@ impl AnalysisReport {
         let mut fig15 = None;
         let mut fig16 = None;
         let mut fig17 = None;
+        let mut goodput = None;
         {
             let (views, users, detailed) = (&views, &users, &out.detailed);
             sc_par::run_tasks(vec![
@@ -97,6 +101,7 @@ impl AnalysisReport {
                 Box::new(|| fig15 = Some(Fig15::compute(views))),
                 Box::new(|| fig16 = Some(Fig16::compute(views))),
                 Box::new(|| fig17 = Some(Fig17::compute(users))),
+                Box::new(|| goodput = Some(GoodputFig::compute(out))),
             ]);
         }
         AnalysisReport {
@@ -117,6 +122,7 @@ impl AnalysisReport {
             fig15: fig15.expect("computed"),
             fig16: fig16.expect("computed"),
             fig17: fig17.expect("computed"),
+            goodput: goodput.expect("computed"),
             users,
         }
     }
@@ -139,6 +145,7 @@ impl AnalysisReport {
             ("Fig. 15 — lifecycle mix", self.fig15.comparisons()),
             ("Fig. 16 — utilization by class", self.fig16.comparisons()),
             ("Fig. 17 — per-user lifecycle structure", self.fig17.comparisons()),
+            ("Goodput — failure attribution", self.goodput.comparisons()),
         ]
     }
 
@@ -174,6 +181,7 @@ impl AnalysisReport {
             self.fig15.render(),
             self.fig16.render(),
             self.fig17.render(),
+            self.goodput.render(),
         ] {
             s.push_str(&part);
             s.push('\n');
@@ -353,7 +361,7 @@ mod tests {
     fn full_pipeline_runs_on_small_trace() {
         let report = AnalysisReport::from_sim(small_sim());
         assert!(!report.users.is_empty());
-        assert_eq!(report.all_comparisons().len(), 15);
+        assert_eq!(report.all_comparisons().len(), 16);
         let text = report.render_text();
         for marker in ["Table I", "Fig. 3(a)", "Fig. 9(b)", "Fig. 17(b)"] {
             assert!(text.contains(marker), "missing {marker}");

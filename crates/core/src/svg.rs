@@ -509,6 +509,21 @@ pub fn write_report_svgs(
                 .collect::<Vec<_>>(),
         ),
     )?;
+    save(
+        "goodput_ledger.svg",
+        bar_chart("Goodput — where allocated GPU-hours went", "GPU-hours", &{
+            let g = &report.goodput;
+            let mut bars = vec![
+                ("useful".to_string(), g.useful_gpu_hours),
+                ("lost".to_string(), g.lost_gpu_hours),
+                ("idle".to_string(), g.idle_gpu_hours),
+            ];
+            bars.extend(
+                g.by_cause.iter().map(|r| (format!("lost: {}", r.cause), r.lost_gpu_hours)),
+            );
+            bars
+        }),
+    )?;
     Ok(written)
 }
 

@@ -38,6 +38,30 @@ impl CheckpointConfig {
         assert!(self.write_secs > 0.0 && self.mtti_secs > 0.0, "parameters must be positive");
         (2.0 * self.write_secs * self.mtti_secs).sqrt()
     }
+
+    /// Bridges the analytical model into the event loop: a
+    /// [`sc_cluster::CheckpointPolicy`] running at this config's Young
+    /// interval. Plug it into [`sc_cluster::SimConfig::checkpoint`] and
+    /// checkpointable jobs killed by injected failures resume from
+    /// their last interval instead of restarting from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive (via
+    /// [`CheckpointConfig::young_interval`]).
+    pub fn sim_policy(&self) -> sc_cluster::CheckpointPolicy {
+        sc_cluster::CheckpointPolicy {
+            interval_secs: self.young_interval(),
+            write_secs: self.write_secs,
+        }
+    }
+
+    /// A config matching a failure model's observed mean time to
+    /// interrupt, for closing the loop: measure MTTI from a goodput
+    /// run, derive the optimal interval, re-run with checkpointing.
+    pub fn for_mtti(mtti_secs: f64) -> Self {
+        CheckpointConfig { write_secs: 30.0, mtti_secs }
+    }
 }
 
 /// Outcome of applying checkpointing to the killed-work population.
@@ -144,5 +168,17 @@ mod tests {
     #[should_panic(expected = "parameters must be positive")]
     fn young_rejects_zero() {
         let _ = CheckpointConfig { write_secs: 0.0, mtti_secs: 1.0 }.young_interval();
+    }
+
+    #[test]
+    fn sim_policy_carries_young_interval_into_the_event_loop() {
+        let cfg = CheckpointConfig::for_mtti(43_200.0);
+        let policy = cfg.sim_policy();
+        assert_eq!(policy.interval_secs, cfg.young_interval());
+        assert_eq!(policy.write_secs, cfg.write_secs);
+        // The policy is the type the simulator consumes.
+        let sim_cfg =
+            sc_cluster::SimConfig { checkpoint: Some(policy), ..sc_cluster::SimConfig::default() };
+        assert!(sim_cfg.checkpoint.is_some());
     }
 }

@@ -32,6 +32,7 @@ pub mod powercap;
 pub mod prediction;
 pub mod tiering;
 
+pub use checkpoint::{CheckpointConfig, CheckpointStudy};
 pub use colocation::{Candidate, ColocationResult, PairingPolicy};
 pub use powercap::{CapOutcome, OverProvisionStudy};
 pub use tiering::{RoutingPolicy, Tier, TierOutcome};

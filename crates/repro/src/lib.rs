@@ -27,8 +27,11 @@ pub use sc_workload as workload;
 
 /// One-line imports for examples and integration tests.
 pub mod prelude {
-    pub use sc_cluster::{ClusterSpec, SimConfig, SimOutput, Simulation};
-    pub use sc_core::{classify_record, gpu_views, user_stats, AnalysisReport};
+    pub use sc_cluster::{
+        CheckpointPolicy, ClusterSpec, FailureCause, FailureModel, GoodputAccounting, JobFate,
+        RetryPolicy, SimConfig, SimOutput, Simulation,
+    };
+    pub use sc_core::{classify_record, gpu_views, user_stats, AnalysisReport, GoodputFig};
     pub use sc_opportunity::OpportunityReport;
     pub use sc_stats::{BoxStats, Ecdf, Lorenz};
     pub use sc_telemetry::{Dataset, ExitStatus, SubmissionInterface};

@@ -18,6 +18,7 @@ mod exponential;
 mod lognormal;
 mod normal;
 mod pareto;
+mod weibull;
 
 pub use beta::{Beta, Gamma};
 pub use categorical::{Categorical, EmpiricalDiscrete};
@@ -25,6 +26,7 @@ pub use exponential::Exponential;
 pub use lognormal::LogNormal;
 pub use normal::Normal;
 pub use pareto::Pareto;
+pub use weibull::Weibull;
 
 use rand::Rng;
 

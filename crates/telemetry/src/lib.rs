@@ -39,7 +39,8 @@ pub use collector::{JobMonitor, MonitorConfig, NodeLocalBuffer};
 pub use dataset::{Dataset, DatasetFunnel};
 pub use metrics::{CpuMetricSample, GpuMetricSample, GpuResource};
 pub use record::{
-    ExitStatus, GpuJobRecord, JobId, JobRecord, SchedulerRecord, SubmissionInterface, UserId,
+    ExitStatus, FailureCause, GpuJobRecord, JobId, JobRecord, SchedulerRecord, SubmissionInterface,
+    UserId,
 };
 pub use sampler::{CpuSampler, GpuSampler, GpuTimeSeries};
 pub use source::MetricSource;

@@ -103,6 +103,55 @@ impl std::fmt::Display for ExitStatus {
     }
 }
 
+/// Root cause of an infrastructure-induced job death — the failure
+/// taxonomy reliability studies attribute wasted GPU-hours to. The
+/// Slurm-side [`ExitStatus`] only records *that* a job died to hardware
+/// (`NodeFailure`); the cause is what the failure-injection subsystem
+/// and the goodput report attribute losses by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// A single GPU faults (Xid error: uncorrectable ECC, falling off
+    /// the bus) and kills the one job bound to it; the GPU resets
+    /// without taking the node down.
+    GpuXid,
+    /// Whole-node hardware failure: every resident job dies and the
+    /// node leaves service for repair.
+    NodeHardware,
+    /// Transient infrastructure blip (network partition, filesystem
+    /// hiccup): residents die but the node returns within minutes.
+    InfraTransient,
+}
+
+impl FailureCause {
+    /// All causes, in taxonomy order (the order goodput reports use).
+    pub const ALL: [FailureCause; 3] =
+        [FailureCause::GpuXid, FailureCause::NodeHardware, FailureCause::InfraTransient];
+
+    /// Index into [`FailureCause::ALL`] — the per-cause accounting slot.
+    pub fn index(&self) -> usize {
+        match self {
+            FailureCause::GpuXid => 0,
+            FailureCause::NodeHardware => 1,
+            FailureCause::InfraTransient => 2,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureCause::GpuXid => "gpu-xid",
+            FailureCause::NodeHardware => "node-hardware",
+            FailureCause::InfraTransient => "infra-transient",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Scheduler-side facts about one job, as recorded in the Slurm
 /// accounting log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -257,5 +306,15 @@ mod tests {
     #[test]
     fn interface_all_covers_every_variant() {
         assert_eq!(SubmissionInterface::ALL.len(), 4);
+    }
+
+    #[test]
+    fn failure_cause_indices_match_all_order() {
+        for (i, cause) in FailureCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i);
+        }
+        assert_eq!(FailureCause::GpuXid.to_string(), "gpu-xid");
+        assert_eq!(FailureCause::NodeHardware.to_string(), "node-hardware");
+        assert_eq!(FailureCause::InfraTransient.to_string(), "infra-transient");
     }
 }

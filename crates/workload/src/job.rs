@@ -86,6 +86,14 @@ pub struct JobSpec {
     pub idle_gpus: u32,
     /// Seed for lazily regenerating the job's [`JobGroundTruth`].
     pub truth_seed: u64,
+    /// Whether the job writes periodic checkpoints when the cluster
+    /// runs a checkpoint policy — training-style (mature/exploratory)
+    /// work does, debug runs and IDE sessions do not.
+    pub checkpointable: bool,
+    /// Automatic requeues allowed after an infrastructure failure
+    /// (Slurm `--requeue` semantics); 0 for interactive sessions, whose
+    /// restart is worthless without the human attached.
+    pub max_restarts: u32,
 }
 
 impl JobSpec {
@@ -146,6 +154,7 @@ impl<'a> JobFactory<'a> {
             0
         };
 
+        let truth_seed = splitmix(job_id.0 ^ 0x9e37_79b9_7f4a_7c15);
         JobSpec {
             job_id,
             user: user.id,
@@ -159,7 +168,12 @@ impl<'a> JobFactory<'a> {
             outcome,
             truth_params: Some(truth_params),
             idle_gpus,
-            truth_seed: splitmix(job_id.0 ^ 0x9e37_79b9_7f4a_7c15),
+            truth_seed,
+            // Recovery attributes hash off the seed rather than drawing
+            // from `rng`: adding them must not shift the RNG stream any
+            // existing trace field is derived from.
+            checkpointable: checkpointable(class, truth_seed),
+            max_restarts: default_max_restarts(interface),
         }
     }
 
@@ -198,6 +212,8 @@ impl<'a> JobFactory<'a> {
             truth_params: None,
             idle_gpus: 0,
             truth_seed: splitmix(job_id.0),
+            checkpointable: false,
+            max_restarts: DEFAULT_MAX_RESTARTS,
         }
     }
 
@@ -374,6 +390,38 @@ impl<'a> JobFactory<'a> {
     }
 }
 
+/// Default automatic-requeue cap for non-interactive jobs (Slurm sites
+/// commonly bound `--requeue` retries to a small constant).
+pub const DEFAULT_MAX_RESTARTS: u32 = 3;
+
+/// Fraction of mature/exploratory jobs whose training loop actually
+/// writes checkpoints — periodic saving is common but not universal.
+const CHECKPOINT_ADOPTION: f64 = 0.85;
+
+/// Whether a job of `class` checkpoints, decided by hashing its seed so
+/// the choice is reproducible and consumes no RNG draws.
+fn checkpointable(class: LifecycleClass, truth_seed: u64) -> bool {
+    matches!(class, LifecycleClass::Mature | LifecycleClass::Exploratory)
+        && hash_unit(truth_seed ^ 0xc4ec_7015) < CHECKPOINT_ADOPTION
+}
+
+/// Requeue cap by interface: restarting an interactive session without
+/// its human is pointless; everything else retries.
+fn default_max_restarts(interface: SubmissionInterface) -> u32 {
+    match interface {
+        SubmissionInterface::Interactive => 0,
+        _ => DEFAULT_MAX_RESTARTS,
+    }
+}
+
+/// Hashes a seed to a unit-interval float (murmur3 finalizer).
+fn hash_unit(mut x: u64) -> f64 {
+    x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x = (x ^ (x >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// SplitMix64 finalizer for deriving per-job seeds from ids.
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -524,6 +572,40 @@ mod tests {
         assert!((single - 0.84).abs() < 0.05, "single-GPU share {single}");
         assert!((above_two - 0.024).abs() < 0.02, ">2-GPU share {above_two}");
         assert!(nine_plus < 0.012, "9+-GPU share {nine_plus}");
+    }
+
+    #[test]
+    fn recovery_attributes_follow_class_and_interface() {
+        let (spec, pop) = setup();
+        let factory = JobFactory::new(&spec);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ckpt = 0usize;
+        let n = 5_000;
+        for i in 0..n {
+            let user = pop.sample_user(&mut rng).clone();
+            let j = factory.gpu_job(&mut rng, JobId(i), &user, 0.0);
+            if j.checkpointable {
+                ckpt += 1;
+                assert!(
+                    matches!(j.class, Some(LifecycleClass::Mature | LifecycleClass::Exploratory)),
+                    "only training-style work checkpoints"
+                );
+            }
+            if j.interface == SubmissionInterface::Interactive {
+                assert_eq!(j.max_restarts, 0, "interactive sessions never auto-requeue");
+            } else {
+                assert_eq!(j.max_restarts, DEFAULT_MAX_RESTARTS);
+            }
+            // Attributes are a pure function of the spec, not the RNG.
+            assert_eq!(j.checkpointable, j.checkpointable);
+        }
+        let frac = ckpt as f64 / n as f64;
+        assert!(frac > 0.4 && frac < 0.8, "checkpoint adoption {frac}");
+        // CPU jobs never checkpoint but do requeue.
+        let user = pop.sample_user(&mut rng).clone();
+        let c = factory.cpu_job(&mut rng, JobId(99_999), &user, 0.0);
+        assert!(!c.checkpointable);
+        assert_eq!(c.max_restarts, DEFAULT_MAX_RESTARTS);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod truth;
 pub mod user;
 
 pub use arrivals::ArrivalIntensity;
-pub use job::{JobFactory, JobSpec, PlannedOutcome};
+pub use job::{JobFactory, JobSpec, PlannedOutcome, DEFAULT_MAX_RESTARTS};
 pub use power::PowerModel;
 pub use spec::{ClassSpec, LifecycleClass, WorkloadSpec};
 pub use trace::Trace;

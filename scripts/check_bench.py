@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gate CI on bench regressions.
+
+Compares a fresh `repro_figures --bench-json` report against the
+committed full-scale baseline (BENCH_repro.json). The smoke run uses a
+reduced --scale, so the baseline's total_secs is scaled by the job-count
+ratio before comparing; the gate fails when the smoke run is more than
+TOLERANCE times slower than that scaled expectation.
+
+usage: check_bench.py BASELINE SMOKE [--tolerance 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+# CI runners are noisy and a 2%-scale run finishes in about a second, so
+# very small expected times are floored before applying the multiplier:
+# the gate is for order-of-magnitude regressions, not scheduler jitter.
+MIN_EXPECTED_SECS = 2.0
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_repro.json")
+    ap.add_argument("smoke", help="fresh --bench-json output")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when smoke exceeds the scaled baseline by this factor",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    smoke = load(args.smoke)
+    for report, path in ((base, args.baseline), (smoke, args.smoke)):
+        for key in ("jobs", "total_secs"):
+            if key not in report:
+                sys.exit(f"check_bench: {path} has no '{key}' field")
+
+    ratio = smoke["jobs"] / base["jobs"]
+    expected = max(base["total_secs"] * ratio, MIN_EXPECTED_SECS)
+    limit = expected * args.tolerance
+    total = smoke["total_secs"]
+
+    print(f"baseline: {base['total_secs']:.2f} s for {base['jobs']} jobs")
+    print(f"smoke:    {total:.2f} s for {smoke['jobs']} jobs (ratio {ratio:.4f})")
+    print(f"expected: {expected:.2f} s scaled, limit {limit:.2f} s "
+          f"(tolerance {args.tolerance}x)")
+    for name, stage in smoke.get("stages", {}).items():
+        print(f"  stage {name:<16} {stage['secs']:8.3f} s")
+
+    if total > limit:
+        sys.exit(
+            f"check_bench: FAIL — smoke total {total:.2f} s exceeds "
+            f"{limit:.2f} s ({total / expected:.1f}x the scaled baseline)"
+        )
+    print(f"check_bench: OK — {total / expected:.2f}x the scaled baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,13 @@ fn figure_statistics_are_stable_across_reruns() {
     assert_eq!(ua, ub);
 }
 
+/// The N-thread side of the 1-vs-N comparisons. The CI determinism
+/// matrix sets `SC_PAR_THREADS` to sweep budgets (1, 4, 8); local runs
+/// fall back to 4.
+fn alt_thread_budget() -> usize {
+    std::env::var("SC_PAR_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
 /// The deterministic-parallelism rule, end to end: a 1-thread run and
 /// an N-thread run must agree byte for byte on both the exported
 /// Dataset JSON and the rendered figure text. Work is distributed
@@ -72,7 +79,7 @@ fn thread_budget_never_changes_output() {
     let json_a = a.dataset.to_json().expect("serializable");
     let text_a = AnalysisReport::from_sim(&a).render_text();
 
-    sc_repro::par::set_max_threads(4);
+    sc_repro::par::set_max_threads(alt_thread_budget());
     let (_, b) = run(5);
     let json_b = b.dataset.to_json().expect("serializable");
     let text_b = AnalysisReport::from_sim(&b).render_text();
@@ -81,4 +88,56 @@ fn thread_budget_never_changes_output() {
 
     assert_eq!(json_a, json_b, "Dataset JSON must not depend on the thread budget");
     assert_eq!(text_a, text_b, "figure text must not depend on the thread budget");
+}
+
+/// One failure-injected run at the current thread budget.
+fn run_with_failures(seed: u64) -> SimOutput {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, seed);
+    Simulation::new(SimConfig {
+        detailed_series_jobs: 30,
+        failures: Some(FailureModel::supercloud(seed).scaled_mtbf(0.05)),
+        checkpoint: Some(CheckpointPolicy { interval_secs: 1_800.0, write_secs: 30.0 }),
+        ..Default::default()
+    })
+    .run(&trace)
+}
+
+/// The failure subsystem under the same rule: the pre-computed failure
+/// schedule, every requeue decision (job fates), the goodput ledger,
+/// and the rendered figures must be byte-identical between a 1-thread
+/// and an N-thread run.
+#[test]
+fn failure_injection_is_deterministic_across_thread_budgets() {
+    let saved = sc_repro::par::current_threads();
+
+    // The schedule itself is a pure function of (model, fleet, horizon).
+    let model = FailureModel::supercloud(6).scaled_mtbf(0.05);
+    let sched_a = model.schedule(224, 448, 1.0e7);
+    let sched_b = model.schedule(224, 448, 1.0e7);
+    assert_eq!(sched_a, sched_b, "failure schedule must be deterministic");
+    assert!(!sched_a.is_empty());
+
+    sc_repro::par::set_max_threads(1);
+    let a = run_with_failures(6);
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let b = run_with_failures(6);
+    sc_repro::par::set_max_threads(saved);
+
+    assert!(a.stats.injected_failures > 0, "model must fire");
+    assert!(a.stats.requeues > 0, "recovery path must be exercised");
+    assert_eq!(a.stats, b.stats, "injection counters must not depend on threads");
+    assert_eq!(a.fates, b.fates, "attempt/requeue decisions must not depend on threads");
+    assert_eq!(a.goodput, b.goodput, "the goodput ledger must not depend on threads");
+    assert_eq!(
+        a.dataset.to_json().expect("serializable"),
+        b.dataset.to_json().expect("serializable"),
+        "Dataset JSON must not depend on the thread budget"
+    );
+    assert_eq!(
+        AnalysisReport::from_sim(&a).render_text(),
+        AnalysisReport::from_sim(&b).render_text(),
+        "figure text must not depend on the thread budget"
+    );
 }

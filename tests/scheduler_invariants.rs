@@ -148,6 +148,104 @@ fn backfill_ablation_does_not_hurt_waits() {
     assert!(easy <= fcfs * 1.05, "backfill mean wait {easy} vs strict FCFS {fcfs}");
 }
 
+/// A 0.01-scale trace run under an aggressive failure model: node
+/// hardware faults every few simulated minutes fleet-wide, so every
+/// recovery path — absorption, requeue, cap exhaustion — is exercised.
+fn violent_failure_sim() -> (Trace, SimOutput) {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, 9_009);
+    let sim = Simulation::new(SimConfig {
+        detailed_series_jobs: 0,
+        failures: Some(FailureModel::nodes_only(5.0e4, 600.0, 77)),
+        checkpoint: Some(CheckpointPolicy { interval_secs: 1_800.0, write_secs: 30.0 }),
+        ..Default::default()
+    });
+    let out = sim.run(&trace);
+    (trace, out)
+}
+
+#[test]
+fn double_failures_are_absorbed_and_every_job_terminates_exactly_once() {
+    let (trace, out) = violent_failure_sim();
+    assert!(out.stats.injected_failures > 0, "model must fire");
+    // With failures every ~220 s fleet-wide and 10-minute repairs, some
+    // faults must strike nodes that are already down or empty; those are
+    // absorbed, never double-killing an attempt.
+    assert!(out.stats.absorbed_faults > 0, "stats: {:?}", out.stats);
+    // Exactly one accounting record and one fate per submitted job, no
+    // matter how many attempts it took.
+    assert_eq!(out.dataset.funnel().total_jobs, trace.jobs().len());
+    assert_eq!(out.fates.len(), trace.jobs().len());
+    let mut seen = std::collections::HashSet::new();
+    for fate in &out.fates {
+        assert!(seen.insert(fate.job_id), "job {:?} terminated twice", fate.job_id);
+        assert!(fate.attempts >= 1);
+    }
+}
+
+#[test]
+fn requeued_jobs_recover_after_node_repair() {
+    let (_, out) = violent_failure_sim();
+    assert!(out.stats.requeues > 0, "stats: {:?}", out.stats);
+    // Recovery works: some job lost an attempt to a node fault, was
+    // requeued with backoff, and still finished with a normal exit.
+    let recovered =
+        out.fates.iter().filter(|f| f.attempts > 1 && f.exit == ExitStatus::Completed).count();
+    assert!(recovered > 0, "no requeued job ever completed");
+}
+
+#[test]
+fn retry_caps_are_exhausted_but_never_exceeded() {
+    let (_, out) = violent_failure_sim();
+    let retry = RetryPolicy::default();
+    let exhausted = out
+        .fates
+        .iter()
+        .filter(|f| f.exit == ExitStatus::NodeFailure && f.injected_failures > 0)
+        .collect::<Vec<_>>();
+    assert!(!exhausted.is_empty(), "under this barrage some job must run out of retries");
+    for fate in &out.fates {
+        // attempts = 1 + retries, and retries never exceed the policy cap.
+        assert!(
+            fate.attempts <= 1 + retry.max_retries,
+            "job {:?} got {} attempts (cap {})",
+            fate.job_id,
+            fate.attempts,
+            1 + retry.max_retries
+        );
+    }
+}
+
+#[test]
+fn gpu_seconds_never_leak_from_the_goodput_ledger() {
+    // The ISSUE's balance criterion: useful + lost + idle == allocated,
+    // with and without injection.
+    let check = |out: &SimOutput, label: &str| {
+        let g = &out.goodput;
+        let total = g.useful_gpu_secs + g.lost_gpu_secs + g.idle_gpu_secs;
+        assert!(
+            (g.allocated_gpu_secs - total).abs() <= 1e-6 * g.allocated_gpu_secs.max(1.0),
+            "{label}: allocated {} != useful {} + lost {} + idle {}",
+            g.allocated_gpu_secs,
+            g.useful_gpu_secs,
+            g.lost_gpu_secs,
+            g.idle_gpu_secs
+        );
+        assert!(g.allocated_gpu_secs > 0.0, "{label}: nothing was allocated");
+    };
+    let (_, clean) = pressured_sim();
+    check(&clean, "no injection");
+    assert_eq!(clean.stats.injected_failures, 0);
+    // Without injection the only infrastructure deaths are the trace's
+    // hardware victims, all attributed to the node-hardware bucket.
+    assert_eq!(clean.goodput.lost_by_cause_gpu_secs[FailureCause::GpuXid.index()], 0.0);
+    assert_eq!(clean.goodput.lost_by_cause_gpu_secs[FailureCause::InfraTransient.index()], 0.0);
+    let (_, violent) = violent_failure_sim();
+    check(&violent, "violent injection");
+    assert!(violent.goodput.lost_gpu_secs > 0.0);
+}
+
 #[test]
 fn fcfs_order_is_respected_for_equal_requests() {
     // Among single-GPU jobs (identical GPU footprint), a job submitted
