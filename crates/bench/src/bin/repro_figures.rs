@@ -6,6 +6,7 @@
 //!               [--threads N] [--bench-json BENCH_repro.json]
 //!               [--failure-profile off|supercloud|stress|transient]
 //!               [--mtbf FACTOR]
+//!               [--trace FILE] [--trace-level off|spans|events]
 //! ```
 //!
 //! With no arguments this runs the full 125-day / 74,820-job Supercloud
@@ -17,9 +18,18 @@
 //! schedules GPU Xid, node-hardware, and transient-infrastructure
 //! faults, the scheduler requeues victims with capped backoff, and the
 //! goodput ledger attributes every lost GPU-hour to its cause.
+//!
+//! `--trace FILE` streams the simulator's deterministic sim-time trace
+//! (submit/start/finish/fault/kill/requeue, attempt and node-down
+//! spans) as JSONL into FILE, plus a `FILE.chrome.json` sidecar of
+//! wall-clock pipeline stage spans loadable in `chrome://tracing` or
+//! Perfetto. `--trace-level` picks the detail (default `events` when
+//! `--trace` is given); the `SC_OBS=level[:file]` environment variable
+//! supplies a default when neither flag is present.
 
 use sc_cluster::{FailureModel, SimConfig, Simulation};
 use sc_core::AnalysisReport;
+use sc_obs::{chrome_trace_json, JsonlSink, Obs, StageLog, TraceLevel, TraceSink};
 use sc_opportunity::{CheckpointConfig, OpportunityReport};
 use sc_workload::{Trace, WorkloadSpec};
 
@@ -32,12 +42,15 @@ struct Args {
     bench_json: Option<String>,
     failure_profile: Option<String>,
     mtbf_factor: Option<f64>,
+    trace: Option<String>,
+    trace_level: Option<String>,
 }
 
 const USAGE: &str = "usage: repro_figures [--scale F] [--seed N] [--out FILE] [--svg-dir DIR]
                      [--threads N] [--bench-json FILE]
                      [--failure-profile off|supercloud|stress|transient]
                      [--mtbf FACTOR]
+                     [--trace FILE] [--trace-level off|spans|events]
 
   --scale F            scale the 125-day / 74,820-job workload by F (default 1.0)
   --seed N             master RNG seed (default 42)
@@ -47,7 +60,13 @@ const USAGE: &str = "usage: repro_figures [--scale F] [--seed N] [--out FILE] [-
   --bench-json FILE    write per-stage timings as JSON
   --failure-profile P  inject faults from taxonomy profile P (default off)
   --mtbf FACTOR        scale every class MTBF by FACTOR; implies
-                       --failure-profile supercloud when none is given";
+                       --failure-profile supercloud when none is given
+  --trace FILE         write the deterministic sim-time JSONL trace to FILE
+                       and a FILE.chrome.json Perfetto sidecar of pipeline
+                       stage spans
+  --trace-level L      trace detail: off, spans, or events (default events
+                       when --trace is given); the SC_OBS=level[:file] env
+                       var supplies a default when both flags are absent";
 
 /// Prints an error plus the usage text and exits with status 2, the
 /// conventional bad-usage code.
@@ -66,6 +85,8 @@ fn parse_args() -> Args {
         bench_json: None,
         failure_profile: None,
         mtbf_factor: None,
+        trace: None,
+        trace_level: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +124,8 @@ fn parse_args() -> Args {
                 }
                 args.mtbf_factor = Some(f);
             }
+            "--trace" => args.trace = Some(value("--trace")),
+            "--trace-level" => args.trace_level = Some(value("--trace-level")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -132,6 +155,41 @@ fn failure_model(args: &Args) -> Option<FailureModel> {
         Some(f) => model.scaled_mtbf(f),
         None => model,
     })
+}
+
+/// Resolves the tracing flags to `(level, jsonl path)`. The flags win;
+/// with both absent, `SC_OBS=level[:file]` supplies the default; with
+/// neither, tracing is off.
+fn trace_settings(args: &Args) -> (TraceLevel, Option<String>) {
+    let parse_level = |s: &str| {
+        TraceLevel::parse(s).unwrap_or_else(|| {
+            usage_error(&format!("bad trace level {s} (expected {})", TraceLevel::NAMES))
+        })
+    };
+    if args.trace.is_some() || args.trace_level.is_some() {
+        let level = match &args.trace_level {
+            Some(s) => parse_level(s),
+            None => TraceLevel::Events,
+        };
+        if level > TraceLevel::Off && args.trace.is_none() {
+            usage_error("--trace-level needs --trace FILE to write to");
+        }
+        return (level, args.trace.clone());
+    }
+    match std::env::var("SC_OBS") {
+        Ok(v) => {
+            let (level_str, path) = match v.split_once(':') {
+                Some((l, p)) => (l.to_string(), Some(p.to_string())),
+                None => (v, None),
+            };
+            let level = parse_level(&level_str);
+            if level > TraceLevel::Off && path.is_none() {
+                usage_error("SC_OBS enables tracing but names no file (use SC_OBS=level:file)");
+            }
+            (level, path)
+        }
+        Err(_) => (TraceLevel::Off, None),
+    }
 }
 
 /// One timed pipeline stage for the `--bench-json` report.
@@ -240,11 +298,32 @@ invariants — double-failure absorption, requeue-after-repair, retry-cap \
 exhaustion, no GPU-second leakage — are covered by \
 `tests/scheduler_invariants.rs`.\n";
 
+/// The observability section of the generated report: the
+/// ClusterTimeline figure and the deterministic trace layer.
+const TRACING: &str = "\n## ClusterTimeline and deterministic tracing\n\n\
+Every run collects a cluster-state time series — queued and running \
+jobs, GPUs in use, nodes down, requeue backlog — sampled on event-loop \
+transitions at 512 points across the horizon, rendered as the \
+ClusterTimeline figure (`cluster_timeline.svg` with `--svg-dir`). The \
+timeline also feeds a log2-bucketed queue-depth histogram that sees \
+every scheduler transition, not just the sampled instants.\n\n\
+`--trace FILE` additionally streams a JSONL event trace keyed to \
+*simulated* time: submit/finish/fault/kill/requeue/checkpoint_restore \
+events plus attempt and node_down spans. The stream is emitted from the \
+single-threaded event loop, so it is byte-identical at any \
+`SC_PAR_THREADS` budget — a property pinned by a committed golden trace \
+(`tests/golden/`) and the determinism suite. `--trace-level \
+{off|spans|events}` (or `SC_OBS=level:file`) controls verbosity; a \
+`FILE.chrome.json` sidecar carries the wall-clock stage spans for \
+chrome://tracing or https://ui.perfetto.dev. With tracing off the \
+instrumentation compiles down to a cached enum compare per site.\n";
+
 fn main() {
     let args = parse_args();
     if let Some(n) = args.threads {
         sc_par::set_max_threads(n);
     }
+    let (trace_level, trace_path) = trace_settings(&args);
     let failures = failure_model(&args);
     let spec = WorkloadSpec::supercloud().scaled(args.scale);
     eprintln!(
@@ -255,8 +334,9 @@ fn main() {
         args.seed,
         sc_par::current_threads()
     );
+    let stage_log = StageLog::new();
     let t0 = std::time::Instant::now();
-    let trace = Trace::generate(&spec, args.seed);
+    let trace = stage_log.time("trace_gen", || Trace::generate(&spec, args.seed));
     let trace_gen_secs = t0.elapsed().as_secs_f64();
     let detailed = ((2_149.0 * args.scale).round() as usize).max(50);
     // With injection on, run checkpointing at the Young interval for the
@@ -278,12 +358,36 @@ fn main() {
         checkpoint,
         ..Default::default()
     });
+    let sink = trace_path.as_ref().map(|path| {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(&format!("cannot create trace file {path}: {e}")));
+        JsonlSink::new(trace_level, file)
+    });
     let t0 = std::time::Instant::now();
-    let (out, timings) = sim.run_timed(&trace);
+    let sim_start = stage_log.elapsed_secs();
+    let (out, timings) = match &sink {
+        Some(s) => sim.run_observed(&trace, &Obs::new(s)),
+        None => sim.run_timed(&trace),
+    };
+    stage_log.push("sim_event_loop", sim_start, timings.event_loop_secs);
+    stage_log.push("telemetry", sim_start + timings.event_loop_secs, timings.telemetry_secs);
+    if let Some(s) = &sink {
+        s.flush().unwrap_or_else(|e| fail(&format!("cannot flush trace file: {e}")));
+    }
     eprintln!("simulated in {:?}; analyzing ...", t0.elapsed());
     let t0 = std::time::Instant::now();
-    let report = AnalysisReport::from_sim(&out);
+    let report = AnalysisReport::from_sim_logged(&out, &stage_log);
     let analysis_secs = t0.elapsed().as_secs_f64();
+
+    // The Chrome sidecar carries the wall-clock stage spans (trace
+    // generation, event loop, telemetry batch, every figure) — load it
+    // in chrome://tracing or https://ui.perfetto.dev.
+    if let Some(path) = &trace_path {
+        let chrome_path = format!("{path}.chrome.json");
+        std::fs::write(&chrome_path, chrome_trace_json(&stage_log.spans()))
+            .unwrap_or_else(|e| fail(&format!("cannot write {chrome_path}: {e}")));
+        eprintln!("wrote {path} (sim-time JSONL) and {chrome_path} (Perfetto stages)");
+    }
 
     if let Some(path) = &args.bench_json {
         let stages = [
@@ -345,6 +449,7 @@ fn main() {
         let mut md = report.experiments_markdown();
         md.push_str(KNOWN_GAPS);
         md.push_str(FAILURE_TAXONOMY);
+        md.push_str(TRACING);
         md.push_str("\n## Beyond the figures\n\n```text\n");
         md.push_str(&sc_core::WorkflowChain::fit(&views).render());
         md.push('\n');

@@ -7,6 +7,7 @@ use crate::failure::{FailureModel, ScheduledFailure};
 use crate::resources::ClusterState;
 use crate::scheduler::{RunningJob, Scheduler};
 use crate::spec::ClusterSpec;
+use sc_obs::{Obs, Timeline, TimelineSample};
 use sc_telemetry::dataset::{Dataset, MIN_GPU_JOB_RUNTIME_SECS};
 use sc_telemetry::phases::{active_variability, phase_stats, ActiveVariability, PhaseStats};
 use sc_telemetry::record::{ExitStatus, FailureCause, GpuJobRecord, JobId, SchedulerRecord};
@@ -107,6 +108,9 @@ pub struct SimStats {
     pub absorbed_faults: u64,
     /// Automatic requeues issued by the retry policy.
     pub requeues: u64,
+    /// Attempts that resumed from checkpoint-preserved work instead of
+    /// starting from scratch.
+    pub checkpoint_restores: u64,
 }
 
 /// The goodput ledger: every allocated GPU-second attributed to exactly
@@ -195,6 +199,10 @@ pub struct SimOutput {
     pub fates: Vec<JobFate>,
     /// The goodput ledger over all attempts.
     pub goodput: GoodputAccounting,
+    /// Cluster state time-series sampled from the event loop (queue
+    /// depth, running jobs, GPU occupancy, nodes down, failure and
+    /// restore counters) — the substrate of the ClusterTimeline figure.
+    pub timeline: Timeline,
 }
 
 /// Wall-clock timings of one simulation run, split by stage.
@@ -234,6 +242,9 @@ struct JobProgress {
     completed_work: f64,
     /// Cause of the last injected death.
     last_cause: Option<FailureCause>,
+    /// Waiting out a requeue backoff (counted in the timeline's
+    /// requeue backlog until the resubmission arrives).
+    in_backoff: bool,
 }
 
 /// Everything the epilog derives from one completion — a pure function
@@ -276,6 +287,18 @@ impl Simulation {
     /// Like [`Simulation::run`], also reporting per-stage wall-clock
     /// timings. The output is identical to `run`'s for the same trace.
     pub fn run_timed(&self, trace: &Trace) -> (SimOutput, SimTimings) {
+        self.run_observed(trace, &Obs::off())
+    }
+
+    /// Like [`Simulation::run_timed`], emitting trace records into
+    /// `obs` as the event loop runs.
+    ///
+    /// Every record is keyed to sim time and emitted from the
+    /// single-threaded event loop, so for a given trace the record
+    /// stream is byte-identical at any `sc_par` thread budget. With
+    /// [`Obs::off`] each instrumentation site costs one enum compare
+    /// and the output equals `run_timed`'s exactly.
+    pub fn run_observed(&self, trace: &Trace, obs: &Obs<'_>) -> (SimOutput, SimTimings) {
         let wall = std::time::Instant::now();
         let jobs = trace.jobs();
         let mut cluster = ClusterState::new(self.config.cluster.clone());
@@ -308,6 +331,12 @@ impl Simulation {
             std::collections::HashSet::new();
         let mut stats = SimStats::default();
         let mut goodput = GoodputAccounting::default();
+        // One timeline point per ~1/512 of the horizon: enough for the
+        // figure, bounded memory at any scale. Collected even with
+        // tracing off — the ClusterTimeline figure always needs it and
+        // the cost is one float compare per event.
+        let mut timeline = Timeline::new((trace.spec().duration_secs() / 512.0).max(1.0));
+        let mut requeue_backlog: u64 = 0;
 
         // Pre-schedule injected failures, if enabled. The schedule is a
         // pure function of (model, fleet, horizon) — see
@@ -328,6 +357,23 @@ impl Simulation {
             stats.events += 1;
             match event {
                 Event::Submit(idx) => {
+                    let requeued = progress[idx].in_backoff;
+                    if requeued {
+                        progress[idx].in_backoff = false;
+                        requeue_backlog -= 1;
+                    }
+                    if obs.events_on() {
+                        let j = &jobs[idx];
+                        obs.event(
+                            now,
+                            "submit",
+                            vec![
+                                ("job", j.job_id.0.into()),
+                                ("gpus", j.gpus.into()),
+                                ("requeued", u64::from(requeued).into()),
+                            ],
+                        );
+                    }
                     scheduler.submit(idx, now);
                     // The scheduling loop wakes up a beat later.
                     queue.push(now + self.config.sched_latency_secs, Event::Tick);
@@ -351,6 +397,24 @@ impl Simulation {
                         exit_cause(exit),
                     );
                     let prog = progress[running.trace_idx];
+                    if obs.events_on() {
+                        obs.event(
+                            now,
+                            "finish",
+                            vec![("job", job.0.into()), ("exit", exit.label().into())],
+                        );
+                    }
+                    if obs.spans_on() {
+                        obs.end(
+                            now,
+                            "attempt",
+                            vec![
+                                ("job", job.0.into()),
+                                ("attempt", attempt.into()),
+                                ("exit", exit.label().into()),
+                            ],
+                        );
+                    }
                     completions.push(Completion {
                         trace_idx: running.trace_idx,
                         start_time: running.start_time,
@@ -367,6 +431,14 @@ impl Simulation {
                 }
                 Event::Fault(fi) => {
                     let f = failure_schedule[fi];
+                    if obs.events_on() {
+                        obs.event(
+                            now,
+                            "fault",
+                            vec![("cause", f.cause.label().into()), ("node", f.node.0.into())],
+                        );
+                    }
+                    let requeues_before = stats.requeues;
                     if down.contains(&f.node) {
                         stats.absorbed_faults += 1;
                         continue; // node already out of service
@@ -384,6 +456,7 @@ impl Simulation {
                             victim,
                             f.cause,
                             now,
+                            obs,
                             &mut scheduler,
                             &mut cluster,
                             jobs,
@@ -407,6 +480,7 @@ impl Simulation {
                                 job_id,
                                 f.cause,
                                 now,
+                                obs,
                                 &mut scheduler,
                                 &mut cluster,
                                 jobs,
@@ -421,12 +495,23 @@ impl Simulation {
                         }
                         down.insert(f.node);
                         cluster.set_offline(f.node);
+                        if obs.spans_on() {
+                            obs.begin(
+                                now,
+                                "node_down",
+                                vec![("node", f.node.0.into()), ("cause", f.cause.label().into())],
+                            );
+                        }
                         queue.push(now + f.repair_secs.max(1.0), Event::NodeRepair(f.node));
                     }
+                    requeue_backlog += stats.requeues - requeues_before;
                 }
                 Event::NodeRepair(node) => {
                     down.remove(&node);
                     cluster.set_online(node);
+                    if obs.spans_on() {
+                        obs.end(now, "node_down", vec![("node", node.0.into())]);
+                    }
                 }
             }
             // One scheduling pass after every event.
@@ -453,6 +538,31 @@ impl Simulation {
                 };
                 progress[idx].attempts += 1;
                 let attempt = progress[idx].attempts;
+                if progress[idx].completed_work > 0.0 {
+                    stats.checkpoint_restores += 1;
+                    if obs.events_on() {
+                        obs.event(
+                            now,
+                            "checkpoint_restore",
+                            vec![
+                                ("job", job.job_id.0.into()),
+                                ("attempt", attempt.into()),
+                                ("saved_work_secs", progress[idx].completed_work.into()),
+                            ],
+                        );
+                    }
+                }
+                if obs.spans_on() {
+                    obs.begin(
+                        now,
+                        "attempt",
+                        vec![
+                            ("job", job.job_id.0.into()),
+                            ("attempt", attempt.into()),
+                            ("gpus", job.gpus.into()),
+                        ],
+                    );
+                }
                 let (end_time, exit) =
                     self.decide_end(trace, job, now, stretch, progress[idx].completed_work);
                 scheduler.mark_running(
@@ -472,10 +582,46 @@ impl Simulation {
             if now > stats.makespan_secs {
                 stats.makespan_secs = now;
             }
+            timeline.observe_depth(scheduler.pending_len() as u64);
+            timeline.maybe_sample(now, || TimelineSample {
+                t: now,
+                queued: scheduler.pending_len() as u64,
+                running: scheduler.running_len() as u64,
+                gpus_in_use: cluster.gpus_in_use() as u64,
+                gpus_free: cluster.gpus_free() as u64,
+                nodes_down: down.len() as u64,
+                requeue_backlog,
+                injected_failures: stats.injected_failures,
+                checkpoint_restores: stats.checkpoint_restores,
+            });
         }
         assert_eq!(scheduler.running_len(), 0, "all jobs must terminate");
         assert_eq!(scheduler.pending_len(), 0, "no job may be left queued");
         assert_eq!(fates.len(), jobs.len(), "every job must have exactly one fate");
+        timeline.sample_final(TimelineSample {
+            t: stats.makespan_secs,
+            queued: 0,
+            running: 0,
+            gpus_in_use: 0,
+            gpus_free: cluster.gpus_free() as u64,
+            nodes_down: down.len() as u64,
+            requeue_backlog,
+            injected_failures: stats.injected_failures,
+            checkpoint_restores: stats.checkpoint_restores,
+        });
+        if obs.events_on() {
+            obs.event(
+                stats.makespan_secs,
+                "sim_end",
+                vec![
+                    ("events", stats.events.into()),
+                    ("injected_failures", stats.injected_failures.into()),
+                    ("absorbed_faults", stats.absorbed_faults.into()),
+                    ("requeues", stats.requeues.into()),
+                    ("checkpoint_restores", stats.checkpoint_restores.into()),
+                ],
+            );
+        }
         debug_assert!(
             goodput.balance_error() <= 1e-6 * goodput.allocated_gpu_secs.max(1.0),
             "goodput ledger out of balance: {goodput:?}"
@@ -522,6 +668,7 @@ impl Simulation {
                 stats,
                 fates,
                 goodput,
+                timeline,
             },
             SimTimings { event_loop_secs, telemetry_secs },
         )
@@ -585,6 +732,7 @@ impl Simulation {
         job_id: JobId,
         cause: FailureCause,
         now: f64,
+        obs: &Obs<'_>,
         scheduler: &mut Scheduler,
         cluster: &mut ClusterState,
         jobs: &[JobSpec],
@@ -611,13 +759,60 @@ impl Simulation {
         prog.injected_failures += 1;
         prog.last_cause = Some(cause);
         stats.injected_failures += 1;
+        if obs.events_on() {
+            obs.event(
+                now,
+                "kill",
+                vec![
+                    ("job", job_id.0.into()),
+                    ("cause", cause.label().into()),
+                    ("elapsed_secs", elapsed.into()),
+                    ("saved_secs", saved_wall.into()),
+                ],
+            );
+        }
+        if obs.spans_on() {
+            obs.end(
+                now,
+                "attempt",
+                vec![
+                    ("job", job_id.0.into()),
+                    ("attempt", prog.attempts.into()),
+                    ("exit", "killed".into()),
+                    ("cause", cause.label().into()),
+                ],
+            );
+        }
         let retry = self.config.failures.as_ref().expect("kill implies failures on").retry;
         let cap = retry.max_retries.min(job.max_restarts);
         if prog.retries < cap {
             prog.retries += 1;
             stats.requeues += 1;
-            queue.push(now + retry.backoff_secs(prog.retries), Event::Submit(running.trace_idx));
+            prog.in_backoff = true;
+            let backoff = retry.backoff_secs(prog.retries);
+            if obs.events_on() {
+                obs.event(
+                    now,
+                    "requeue",
+                    vec![
+                        ("job", job_id.0.into()),
+                        ("retry", prog.retries.into()),
+                        ("backoff_secs", backoff.into()),
+                    ],
+                );
+            }
+            queue.push(now + backoff, Event::Submit(running.trace_idx));
         } else {
+            if obs.events_on() {
+                obs.event(
+                    now,
+                    "finish",
+                    vec![
+                        ("job", job_id.0.into()),
+                        ("exit", ExitStatus::NodeFailure.label().into()),
+                    ],
+                );
+            }
             completions.push(Completion {
                 trace_idx: running.trace_idx,
                 start_time: running.start_time,
@@ -1022,6 +1217,43 @@ mod tests {
         assert_eq!(single.detailed, multi.detailed);
         assert_eq!(single.stats, multi.stats);
         assert!(timings.event_loop_secs >= 0.0 && timings.telemetry_secs >= 0.0);
+    }
+
+    #[test]
+    fn observed_run_emits_records_without_changing_output() {
+        use sc_obs::{RingSink, TraceLevel};
+        let spec = WorkloadSpec::supercloud().scaled(0.005);
+        let trace = Trace::generate(&spec, 13);
+        let sim = Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            failures: Some(FailureModel::supercloud(6).scaled_mtbf(0.05)),
+            checkpoint: Some(CheckpointPolicy { interval_secs: 1800.0, write_secs: 30.0 }),
+            ..Default::default()
+        });
+        let plain = sim.run(&trace);
+        let ring = RingSink::new(TraceLevel::Events, 1_000_000);
+        let (observed, _) = sim.run_observed(&trace, &Obs::new(&ring));
+        assert_eq!(plain.stats, observed.stats);
+        assert_eq!(plain.fates, observed.fates);
+        assert_eq!(plain.goodput, observed.goodput);
+        assert_eq!(plain.timeline, observed.timeline);
+        let records = ring.records();
+        assert!(!records.is_empty());
+        let names: std::collections::HashSet<&str> = records.iter().map(|r| r.name).collect();
+        for expected in ["submit", "attempt", "finish", "fault", "kill", "requeue", "sim_end"] {
+            assert!(names.contains(expected), "missing {expected} in {names:?}");
+        }
+        // Records arrive in event order: sim time never goes backwards.
+        for pair in records.windows(2) {
+            assert!(pair[1].t >= pair[0].t - 1e-9);
+        }
+        // The timeline saw the whole run and its counters are coherent.
+        let last = *observed.timeline.samples().last().unwrap();
+        assert_eq!(last.injected_failures, observed.stats.injected_failures);
+        assert_eq!(last.checkpoint_restores, observed.stats.checkpoint_restores);
+        assert_eq!(last.queued, 0);
+        assert_eq!(last.running, 0);
+        assert!(observed.stats.checkpoint_restores > 0, "checkpoint restores must register");
     }
 
     #[test]

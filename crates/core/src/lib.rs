@@ -43,7 +43,7 @@ pub mod view;
 pub mod workflow;
 
 pub use classify::{classify_exit, classify_record};
-pub use figures::GoodputFig;
+pub use figures::{ClusterTimelineFig, GoodputFig};
 pub use pipeline::{AnalysisReport, DatasetReport};
 pub use report::Comparison;
 pub use userstats::{user_stats, UserStats};

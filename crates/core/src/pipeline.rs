@@ -6,6 +6,7 @@ use crate::report::{markdown_table, Comparison};
 use crate::userstats::{user_stats, UserStats};
 use crate::view::gpu_views;
 use sc_cluster::{ClusterSpec, SimOutput};
+use sc_obs::StageLog;
 use sc_telemetry::dataset::DatasetFunnel;
 
 /// Every figure of the paper, computed from one simulation run.
@@ -48,6 +49,9 @@ pub struct AnalysisReport {
     /// Goodput and failure attribution (reliability extension; not a
     /// paper figure).
     pub goodput: GoodputFig,
+    /// Cluster state over the run (observability extension; not a
+    /// paper figure).
+    pub timeline: ClusterTimelineFig,
     /// The per-user statistics the user-level figures were computed
     /// from.
     pub users: Vec<UserStats>,
@@ -62,9 +66,21 @@ impl AnalysisReport {
     /// no multi-GPU jobs, no detailed subset) — run a large enough
     /// trace.
     pub fn from_sim(out: &SimOutput) -> Self {
-        let views = gpu_views(&out.dataset);
-        let users = user_stats(&views);
-        // The 15 figure computations are independent of each other; fan
+        Self::from_sim_logged(out, &StageLog::new())
+    }
+
+    /// Like [`AnalysisReport::from_sim`], recording a wall-clock span
+    /// per pipeline stage (view building, user stats, each figure)
+    /// into `log` — the substrate of the Chrome trace export. The
+    /// report itself is identical to `from_sim`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`AnalysisReport::from_sim`].
+    pub fn from_sim_logged(out: &SimOutput, log: &StageLog) -> Self {
+        let views = log.time("gpu_views", || gpu_views(&out.dataset));
+        let users = log.time("user_stats", || user_stats(&views));
+        // The figure computations are independent of each other; fan
         // them out over the sc-par thread budget. Each task writes its
         // own slot, so no figure depends on task scheduling order.
         let mut fig3 = None;
@@ -83,25 +99,29 @@ impl AnalysisReport {
         let mut fig16 = None;
         let mut fig17 = None;
         let mut goodput = None;
+        let mut timeline = None;
         {
             let (views, users, detailed) = (&views, &users, &out.detailed);
             sc_par::run_tasks(vec![
-                Box::new(|| fig3 = Some(Fig3::compute(&out.dataset))),
-                Box::new(|| fig4 = Some(Fig4::compute(views))),
-                Box::new(|| fig5 = Some(Fig5::compute(views))),
-                Box::new(|| fig6 = Some(Fig6::compute(detailed))),
-                Box::new(|| fig7 = Some(Fig7::compute(detailed, views))),
-                Box::new(|| fig8 = Some(Fig8::compute(views))),
-                Box::new(|| fig9 = Some(Fig9::compute(views))),
-                Box::new(|| fig10 = Some(Fig10::compute(users))),
-                Box::new(|| fig11 = Some(Fig11::compute(users))),
-                Box::new(|| fig12 = Some(Fig12::compute(users))),
-                Box::new(|| fig13 = Some(Fig13::compute(views, users))),
-                Box::new(|| fig14 = Some(Fig14::compute(views))),
-                Box::new(|| fig15 = Some(Fig15::compute(views))),
-                Box::new(|| fig16 = Some(Fig16::compute(views))),
-                Box::new(|| fig17 = Some(Fig17::compute(users))),
-                Box::new(|| goodput = Some(GoodputFig::compute(out))),
+                Box::new(|| fig3 = Some(log.time("fig03", || Fig3::compute(&out.dataset)))),
+                Box::new(|| fig4 = Some(log.time("fig04", || Fig4::compute(views)))),
+                Box::new(|| fig5 = Some(log.time("fig05", || Fig5::compute(views)))),
+                Box::new(|| fig6 = Some(log.time("fig06", || Fig6::compute(detailed)))),
+                Box::new(|| fig7 = Some(log.time("fig07", || Fig7::compute(detailed, views)))),
+                Box::new(|| fig8 = Some(log.time("fig08", || Fig8::compute(views)))),
+                Box::new(|| fig9 = Some(log.time("fig09", || Fig9::compute(views)))),
+                Box::new(|| fig10 = Some(log.time("fig10", || Fig10::compute(users)))),
+                Box::new(|| fig11 = Some(log.time("fig11", || Fig11::compute(users)))),
+                Box::new(|| fig12 = Some(log.time("fig12", || Fig12::compute(users)))),
+                Box::new(|| fig13 = Some(log.time("fig13", || Fig13::compute(views, users)))),
+                Box::new(|| fig14 = Some(log.time("fig14", || Fig14::compute(views)))),
+                Box::new(|| fig15 = Some(log.time("fig15", || Fig15::compute(views)))),
+                Box::new(|| fig16 = Some(log.time("fig16", || Fig16::compute(views)))),
+                Box::new(|| fig17 = Some(log.time("fig17", || Fig17::compute(users)))),
+                Box::new(|| goodput = Some(log.time("goodput", || GoodputFig::compute(out)))),
+                Box::new(|| {
+                    timeline = Some(log.time("timeline", || ClusterTimelineFig::compute(out)))
+                }),
             ]);
         }
         AnalysisReport {
@@ -123,6 +143,7 @@ impl AnalysisReport {
             fig16: fig16.expect("computed"),
             fig17: fig17.expect("computed"),
             goodput: goodput.expect("computed"),
+            timeline: timeline.expect("computed"),
             users,
         }
     }
@@ -182,6 +203,7 @@ impl AnalysisReport {
             self.fig16.render(),
             self.fig17.render(),
             self.goodput.render(),
+            self.timeline.render(),
         ] {
             s.push_str(&part);
             s.push('\n');
@@ -363,11 +385,30 @@ mod tests {
         assert!(!report.users.is_empty());
         assert_eq!(report.all_comparisons().len(), 16);
         let text = report.render_text();
-        for marker in ["Table I", "Fig. 3(a)", "Fig. 9(b)", "Fig. 17(b)"] {
+        for marker in ["Table I", "Fig. 3(a)", "Fig. 9(b)", "Fig. 17(b)", "ClusterTimeline"] {
             assert!(text.contains(marker), "missing {marker}");
         }
         let md = report.experiments_markdown();
         assert!(md.contains("# EXPERIMENTS"));
         assert!(md.contains("| Metric | Paper | Measured | Ratio |"));
+    }
+
+    #[test]
+    fn logged_pipeline_records_a_span_per_stage() {
+        let log = StageLog::new();
+        let report = AnalysisReport::from_sim_logged(small_sim(), &log);
+        assert!(!report.users.is_empty());
+        let spans = log.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for stage in ["gpu_views", "user_stats", "fig03", "fig17", "goodput", "timeline"] {
+            assert!(names.contains(&stage), "missing stage {stage} in {names:?}");
+        }
+        // Views and user stats run before any figure span opens.
+        assert_eq!(names[0], "gpu_views");
+        assert_eq!(names[1], "user_stats");
+        // The spans render to a loadable Chrome trace document.
+        let doc = sc_obs::chrome_trace_json(&spans);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"gpu_views\""));
     }
 }

@@ -524,6 +524,21 @@ pub fn write_report_svgs(
             bars
         }),
     )?;
+    save(
+        "cluster_timeline.svg",
+        line_chart(
+            "ClusterTimeline — cluster state over the run",
+            "time (days)",
+            "count",
+            Scale::Linear,
+            &report
+                .timeline
+                .curves()
+                .into_iter()
+                .map(|(name, points)| Series::new(name, points))
+                .collect::<Vec<_>>(),
+        ),
+    )?;
     Ok(written)
 }
 

@@ -1,0 +1,50 @@
+//! Deterministic observability for the reproduction pipeline.
+//!
+//! The paper's entire method is *instrumentation*: Slurm prolog/epilog
+//! hooks plus 100 ms `nvidia-smi` sampling turn a production cluster
+//! into a characterizable system. This crate gives the simulator the
+//! same property — a first-class, queryable event/metric stream —
+//! under two rules:
+//!
+//! 1. **Deterministic.** Every trace record is keyed to *simulation
+//!    time*, never wall clock, and is emitted from the single-threaded
+//!    event loop, so a JSONL trace of the same seed is byte-identical
+//!    at any `sc_par` thread budget. (Wall-clock *stage* spans live in
+//!    a separate [`StageLog`] that is explicitly outside the
+//!    determinism contract and feeds the Chrome exporter.)
+//! 2. **Free when off.** Instrumentation points gate on an enum
+//!    compare ([`Obs::events_on`] / [`Obs::spans_on`]) before
+//!    constructing anything; with the [`NullSink`] the cost is one
+//!    predictable branch per site.
+//!
+//! Modules:
+//!
+//! - [`record`]: trace levels, field values, and the canonical JSONL
+//!   encoding.
+//! - [`sink`]: the [`TraceSink`] trait and the [`NullSink`] /
+//!   [`RingSink`] / [`JsonlSink`] implementations, plus the cheap
+//!   [`Obs`] handle instrumented code carries.
+//! - [`metrics`]: counters, gauges, and log₂-bucketed histograms.
+//! - [`timeline`]: the cluster time-series ([`Timeline`]) sampled on
+//!   event-loop transitions — queue depth, running jobs, free GPUs,
+//!   requeue backlog, failure injections, checkpoint restores.
+//! - [`stagelog`]: wall-clock per-stage spans ([`StageLog`]).
+//! - [`chrome`]: Chrome trace-event (`chrome://tracing` / Perfetto)
+//!   export of stage spans.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+pub mod stagelog;
+pub mod timeline;
+
+pub use chrome::chrome_trace_json;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use record::{RecordKind, TraceLevel, TraceRecord, Value};
+pub use sink::{JsonlSink, NullSink, Obs, RingSink, TraceSink};
+pub use stagelog::{StageLog, StageSpan};
+pub use timeline::{Timeline, TimelineSample};

@@ -1,0 +1,151 @@
+//! Cluster time-series sampled from the event loop.
+//!
+//! Sampling every event-loop transition at full scale would record
+//! hundreds of thousands of points, so the timeline buckets samples to
+//! a fixed sim-time period (the first transition at or past each
+//! period boundary is kept) while the queue-depth histogram still sees
+//! every transition. Both are driven only by sim time and event order,
+//! so they are identical at any thread budget.
+
+use crate::metrics::Histogram;
+
+/// One sampled point of cluster state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// Sim time of the sample, seconds.
+    pub t: f64,
+    /// Jobs waiting in the scheduler queue.
+    pub queued: u64,
+    /// Jobs currently running.
+    pub running: u64,
+    /// GPUs allocated to running jobs.
+    pub gpus_in_use: u64,
+    /// GPUs idle on online nodes.
+    pub gpus_free: u64,
+    /// Nodes offline for repair.
+    pub nodes_down: u64,
+    /// Failure-requeued jobs waiting for their backoff to expire.
+    pub requeue_backlog: u64,
+    /// Cumulative failure injections so far.
+    pub injected_failures: u64,
+    /// Cumulative checkpoint restores so far.
+    pub checkpoint_restores: u64,
+}
+
+/// Period-bucketed cluster time-series plus a full-resolution
+/// queue-depth histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    period_secs: f64,
+    next_t: f64,
+    samples: Vec<TimelineSample>,
+    queue_depth: Histogram,
+}
+
+impl Timeline {
+    /// A timeline sampling at most one point per `period_secs` of sim
+    /// time. Periods must be positive and finite.
+    pub fn new(period_secs: f64) -> Timeline {
+        assert!(period_secs > 0.0 && period_secs.is_finite(), "timeline period must be positive");
+        Timeline { period_secs, next_t: 0.0, samples: Vec::new(), queue_depth: Histogram::new() }
+    }
+
+    /// Sampling period, seconds of sim time.
+    pub fn period_secs(&self) -> f64 {
+        self.period_secs
+    }
+
+    /// Records the queue depth at one event-loop transition. Called on
+    /// every transition regardless of the sampling period.
+    pub fn observe_depth(&mut self, depth: u64) {
+        self.queue_depth.observe(depth as f64);
+    }
+
+    /// Takes a sample if `now` has reached the next period boundary.
+    /// `state` is only invoked when a sample is due, so the common
+    /// case is one float compare.
+    pub fn maybe_sample(&mut self, now: f64, state: impl FnOnce() -> TimelineSample) {
+        if now >= self.next_t {
+            self.samples.push(state());
+            while self.next_t <= now {
+                self.next_t += self.period_secs;
+            }
+        }
+    }
+
+    /// Unconditionally appends a closing sample (end-of-sim state).
+    pub fn sample_final(&mut self, state: TimelineSample) {
+        self.samples.push(state);
+    }
+
+    /// The sampled points, oldest first.
+    pub fn samples(&self) -> &[TimelineSample] {
+        &self.samples
+    }
+
+    /// Queue depth over every event-loop transition.
+    pub fn queue_depth(&self) -> &Histogram {
+        &self.queue_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64) -> TimelineSample {
+        TimelineSample {
+            t,
+            queued: 1,
+            running: 2,
+            gpus_in_use: 4,
+            gpus_free: 4,
+            nodes_down: 0,
+            requeue_backlog: 0,
+            injected_failures: 0,
+            checkpoint_restores: 0,
+        }
+    }
+
+    #[test]
+    fn samples_are_bucketed_to_the_period() {
+        let mut tl = Timeline::new(10.0);
+        for now in [0.0, 1.0, 9.0, 10.0, 11.0, 35.0, 36.0] {
+            tl.maybe_sample(now, || sample(now));
+        }
+        let times: Vec<f64> = tl.samples().iter().map(|s| s.t).collect();
+        // t=0 opens the series, then one per crossed boundary.
+        assert_eq!(times, vec![0.0, 10.0, 35.0]);
+    }
+
+    #[test]
+    fn state_closure_runs_only_when_due() {
+        let mut tl = Timeline::new(100.0);
+        tl.maybe_sample(0.0, || sample(0.0));
+        tl.maybe_sample(5.0, || panic!("not due yet"));
+    }
+
+    #[test]
+    fn depth_histogram_sees_every_transition() {
+        let mut tl = Timeline::new(1.0e9);
+        for depth in [0, 1, 2, 3] {
+            tl.observe_depth(depth);
+        }
+        assert_eq!(tl.queue_depth().count(), 4);
+        assert_eq!(tl.queue_depth().max(), Some(3.0));
+    }
+
+    #[test]
+    fn final_sample_is_unconditional() {
+        let mut tl = Timeline::new(10.0);
+        tl.maybe_sample(0.0, || sample(0.0));
+        tl.sample_final(sample(3.0));
+        assert_eq!(tl.samples().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_rejected() {
+        Timeline::new(0.0);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub use sc_cluster as cluster;
 pub use sc_core as core;
+pub use sc_obs as obs;
 pub use sc_opportunity as opportunity;
 pub use sc_par as par;
 pub use sc_stats as stats;
@@ -32,6 +33,7 @@ pub mod prelude {
         RetryPolicy, SimConfig, SimOutput, Simulation,
     };
     pub use sc_core::{classify_record, gpu_views, user_stats, AnalysisReport, GoodputFig};
+    pub use sc_obs::{JsonlSink, Obs, RingSink, StageLog, TraceLevel, TraceSink};
     pub use sc_opportunity::OpportunityReport;
     pub use sc_stats::{BoxStats, Ecdf, Lorenz};
     pub use sc_telemetry::{Dataset, ExitStatus, SubmissionInterface};

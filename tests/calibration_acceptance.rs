@@ -1,9 +1,13 @@
 //! Calibration acceptance: at a moderate scale, the measured statistics
-//! must sit inside tolerance bands around the paper's reported values.
+//! must sit inside bands anchored on the measured/paper *ratios* the
+//! full-scale run documents in EXPERIMENTS.md (e.g. p25 run time
+//! 2.16×, SM median 0.65×). A drift in the generator now moves a ratio
+//! out of its ±25% band instead of hiding inside a 50–60% tolerance.
 //!
-//! These bands are deliberately wider than the full-scale run's typical
-//! error (see EXPERIMENTS.md) — they are regression rails, not the
-//! headline comparison.
+//! Ratios that are scale-dependent (the run-time tail and the
+//! interface shares thin out at 0.10 scale) are asserted in
+//! `#[ignore]`d tests with tracking notes; run them with
+//! `cargo test -- --ignored` against a full-scale simulation.
 
 use sc_repro::prelude::*;
 use std::sync::OnceLock;
@@ -25,13 +29,54 @@ fn within(measured: f64, paper: f64, rel: f64) -> bool {
     (measured - paper).abs() <= rel * paper.abs()
 }
 
+/// `measured / paper` must land within ±25% of the ratio the full-scale
+/// run documents in EXPERIMENTS.md for the same statistic.
+fn ratio_band(measured: f64, paper: f64, experiments_ratio: f64) -> bool {
+    let r = measured / paper;
+    (r / experiments_ratio - 1.0).abs() <= 0.25
+}
+
 #[test]
 fn runtime_quantiles_near_fig3() {
     let views = gpu_views(&sim().dataset);
     let runtimes = Ecdf::new(views.iter().map(|v| v.run_minutes()).collect()).unwrap();
-    assert!(within(runtimes.median(), 30.0, 0.6), "median {}", runtimes.median());
-    assert!(runtimes.quantile(0.25) < 15.0, "p25 {}", runtimes.quantile(0.25));
-    assert!(runtimes.quantile(0.75) > 90.0, "p75 {}", runtimes.quantile(0.75));
+    // The 0.10-scale quantiles sit below their full-scale ratios (the
+    // long tail thins with job count), so these are the live rails:
+    // median on the paper, p25 overshooting (documented bias direction,
+    // 2.16× at full scale), p75 undershooting (0.71× at full scale).
+    assert!(within(runtimes.median(), 30.0, 0.2), "median {}", runtimes.median());
+    let p25 = runtimes.quantile(0.25);
+    assert!((4.0 * 1.2..4.0 * 2.2).contains(&p25), "p25 {p25} outside overshoot band");
+    let p75 = runtimes.quantile(0.75);
+    assert!((300.0 * 0.4..300.0 * 0.8).contains(&p75), "p75 {p75} outside undershoot band");
+}
+
+/// EXPERIMENTS.md run-time table: median CPU-job run time lands on the
+/// paper (ratio 1.01×) even at 0.10 scale.
+#[test]
+fn cpu_runtime_median_matches_experiments_ratio() {
+    let cpu =
+        Ecdf::new(sim().dataset.cpu_jobs().map(|r| r.sched.run_time() / 60.0).collect()).unwrap();
+    assert!(ratio_band(cpu.median(), 8.0, 1.01), "CPU median {} min", cpu.median());
+}
+
+/// EXPERIMENTS.md GPU run-time ratios (median 1.30×, p25 2.16×,
+/// p75 0.71×) as exact bands.
+///
+/// IGNORED: these ratios are full-scale properties. At this suite's
+/// 0.10 scale the measured ratios are 0.93×/1.56×/0.46× — the run-time
+/// tail thins with job count, so the full-scale overshoot has not yet
+/// developed. Tracked until the acceptance suite grows a full-scale
+/// tier (or the generator's tail is recalibrated); until then the
+/// directional bands in `runtime_quantiles_near_fig3` are the rails.
+#[test]
+#[ignore = "run-time quantile ratios are full-scale properties; see note"]
+fn gpu_runtime_quantile_ratios_match_full_scale_experiments() {
+    let views = gpu_views(&sim().dataset);
+    let runtimes = Ecdf::new(views.iter().map(|v| v.run_minutes()).collect()).unwrap();
+    assert!(ratio_band(runtimes.median(), 30.0, 1.30), "median {}", runtimes.median());
+    assert!(ratio_band(runtimes.quantile(0.25), 4.0, 2.16), "p25 {}", runtimes.quantile(0.25));
+    assert!(ratio_band(runtimes.quantile(0.75), 300.0, 0.71), "p75 {}", runtimes.quantile(0.75));
 }
 
 #[test]
@@ -61,9 +106,12 @@ fn utilization_medians_near_fig4() {
     let sm = Ecdf::new(views.iter().map(|v| v.agg.sm_util.mean).collect()).unwrap();
     let mem = Ecdf::new(views.iter().map(|v| v.agg.mem_util.mean).collect()).unwrap();
     let msz = Ecdf::new(views.iter().map(|v| v.agg.mem_size_util.mean).collect()).unwrap();
-    assert!(within(sm.median(), 16.0, 0.5), "SM median {}", sm.median());
-    assert!(mem.median() < 6.0, "mem median {}", mem.median());
-    assert!(within(msz.median(), 9.0, 0.6), "mem-size median {}", msz.median());
+    // These ratios are scale-stable: EXPERIMENTS.md reports 0.65×,
+    // 0.65×, 0.55× at full scale and the 0.10-scale run reproduces
+    // them, so the bands are pinned to the documented ratios.
+    assert!(ratio_band(sm.median(), 16.0, 0.65), "SM median {}", sm.median());
+    assert!(ratio_band(mem.median(), 2.0, 0.65), "mem median {}", mem.median());
+    assert!(ratio_band(msz.median(), 9.0, 0.55), "mem-size median {}", msz.median());
     // Ordering: SM > mem-size > mem bandwidth.
     assert!(sm.median() > msz.median());
     assert!(msz.median() > mem.median());
@@ -211,4 +259,36 @@ fn class_utilization_ordering_matches_fig16() {
     assert!(within(mature, 21.0, 0.35), "mature SM median {mature}");
     assert!(dev < 3.0, "development SM median {dev}");
     assert!(ide < 3.0, "IDE SM median {ide}");
+}
+
+/// EXPERIMENTS.md interface/lifecycle-share ratios: interactive job
+/// share 2.04× and IDE GPU-hour share 1.97× at full scale.
+///
+/// IGNORED: both shares are scale-dependent. At 0.10 scale the
+/// interactive share measures ≈0.023 (0.57× the paper's 4%) because
+/// the thin-slice completing-notebook population scales with job count
+/// while the IDE session floor does not; the IDE GPU-hour share
+/// measures ≈0.21 (1.16×) for the same reason. Tracked until the
+/// acceptance suite grows a full-scale tier; the live lifecycle rails
+/// are in `lifecycle_mix_near_fig15`.
+#[test]
+#[ignore = "interface shares are full-scale properties; see note"]
+fn interface_share_ratios_match_full_scale_experiments() {
+    let out = sim();
+    let interactive = out
+        .dataset
+        .records()
+        .iter()
+        .filter(|r| {
+            r.sched.interface == sc_repro::telemetry::record::SubmissionInterface::Interactive
+        })
+        .count() as f64
+        / out.dataset.records().len() as f64;
+    assert!(ratio_band(interactive, 0.04, 2.04), "interactive share {interactive}");
+
+    let views = gpu_views(&out.dataset);
+    let hours: f64 = views.iter().map(|v| v.gpu_hours()).sum();
+    let ide_hours: f64 =
+        views.iter().filter(|v| v.class == LifecycleClass::Ide).map(|v| v.gpu_hours()).sum();
+    assert!(ratio_band(ide_hours / hours, 0.18, 1.97), "IDE hour share {}", ide_hours / hours);
 }

@@ -104,6 +104,78 @@ fn run_with_failures(seed: u64) -> SimOutput {
     .run(&trace)
 }
 
+/// A small failure-injected run traced at `TraceLevel::Events`,
+/// returning the raw JSONL bytes. Deliberately tiny (0.2% scale, 10
+/// days) so the golden file stays a few tens of kilobytes while still
+/// exercising submits, faults, kills, requeues and checkpoint restores.
+fn traced_jsonl(seed: u64) -> Vec<u8> {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.002);
+    spec.users = 16;
+    spec.duration_days = 10.0;
+    let trace = Trace::generate(&spec, seed);
+    let sim = Simulation::new(SimConfig {
+        detailed_series_jobs: 10,
+        failures: Some(FailureModel::supercloud(seed).scaled_mtbf(0.1)),
+        checkpoint: Some(CheckpointPolicy { interval_secs: 1_800.0, write_secs: 30.0 }),
+        ..Default::default()
+    });
+    let sink = JsonlSink::new(TraceLevel::Events, Vec::new());
+    let (_out, _timings) = sim.run_observed(&trace, &Obs::new(&sink));
+    sink.into_inner().expect("Vec<u8> writes cannot fail")
+}
+
+const GOLDEN_TRACE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/trace_scale0002_seed42.jsonl");
+
+/// Golden-trace regression: the traced event stream for a fixed seed
+/// must match the committed bytes exactly. Any intentional change to
+/// the trace vocabulary, field order, or float formatting must
+/// regenerate the golden file (set `SC_REGEN_GOLDEN=1` and rerun) and
+/// justify the diff in review.
+#[test]
+fn golden_trace_matches_committed_bytes() {
+    let bytes = traced_jsonl(42);
+    assert!(!bytes.is_empty());
+    if std::env::var("SC_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_TRACE, &bytes).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read(GOLDEN_TRACE).expect("golden trace committed at tests/golden/");
+    assert_eq!(
+        bytes.len(),
+        golden.len(),
+        "trace length changed vs golden ({} vs {} bytes); regenerate with SC_REGEN_GOLDEN=1 \
+         if intentional",
+        bytes.len(),
+        golden.len()
+    );
+    if bytes != golden {
+        let line = bytes
+            .split(|&b| b == b'\n')
+            .zip(golden.split(|&b| b == b'\n'))
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        panic!("trace diverges from golden at line {}", line + 1);
+    }
+}
+
+/// The trace stream itself obeys the deterministic-parallelism rule:
+/// byte-identical JSONL at a 1-thread and an N-thread budget (the CI
+/// matrix sweeps N over 1, 4, 8 via `SC_PAR_THREADS`).
+#[test]
+fn trace_bytes_identical_across_thread_budgets() {
+    let saved = sc_repro::par::current_threads();
+
+    sc_repro::par::set_max_threads(1);
+    let a = traced_jsonl(42);
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let b = traced_jsonl(42);
+    sc_repro::par::set_max_threads(saved);
+
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "JSONL trace bytes must not depend on the thread budget");
+}
+
 /// The failure subsystem under the same rule: the pre-computed failure
 /// schedule, every requeue decision (job fates), the goodput ledger,
 /// and the rendered figures must be byte-identical between a 1-thread

@@ -246,6 +246,97 @@ fn gpu_seconds_never_leak_from_the_goodput_ledger() {
     assert!(violent.goodput.lost_gpu_secs > 0.0);
 }
 
+mod goodput_fuzz {
+    //! Fuzz the goodput ledger: whatever failure model, checkpoint
+    //! policy, and seed the strategy draws, the conservation laws must
+    //! hold exactly. Each case is a full (small) simulation, so the
+    //! case count is modest; the determinism of the vendored proptest
+    //! keeps every draw reproducible.
+
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::strategy::weighted_bool;
+
+    fn fuzzed_sim(seed: u64, mtbf_factor: f64, nodes_only: bool, checkpoint: bool) -> SimOutput {
+        let mut spec = WorkloadSpec::supercloud().scaled(0.005);
+        spec.users = 24;
+        let trace = Trace::generate(&spec, seed);
+        let failures = if nodes_only {
+            // mtbf_factor in (0, 1] maps onto a fleet-wide MTBF of
+            // 5e4..5e5 simulated seconds with ten-minute repairs.
+            FailureModel::nodes_only(5.0e4 / mtbf_factor, 600.0, seed)
+        } else {
+            FailureModel::supercloud(seed).scaled_mtbf(mtbf_factor)
+        };
+        Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            failures: Some(failures),
+            checkpoint: checkpoint
+                .then_some(CheckpointPolicy { interval_secs: 1_800.0, write_secs: 30.0 }),
+            ..Default::default()
+        })
+        .run(&trace)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// useful + lost + idle == allocated, per-cause losses sum to
+        /// the lost bucket, and per-cause deaths sum to the death
+        /// total — for any failure model, seed, and checkpoint policy.
+        #[test]
+        fn prop_ledger_balances_under_any_failure_regime(
+            seed in 0..100_000u64,
+            mtbf_factor in 0.02..0.3f64,
+            nodes_only in weighted_bool(0.3),
+            checkpoint in weighted_bool(0.5),
+        ) {
+            let out = fuzzed_sim(seed, mtbf_factor, nodes_only, checkpoint);
+            let g = &out.goodput;
+
+            prop_assert!(g.allocated_gpu_secs > 0.0, "nothing was allocated");
+            prop_assert!(
+                g.balance_error() <= 1e-6 * g.allocated_gpu_secs,
+                "ledger imbalance {} on allocated {}",
+                g.balance_error(),
+                g.allocated_gpu_secs,
+            );
+
+            let by_cause: f64 = g.lost_by_cause_gpu_secs.iter().sum();
+            prop_assert!(
+                (by_cause - g.lost_gpu_secs).abs() <= 1e-6 * g.lost_gpu_secs.max(1.0),
+                "per-cause losses {} != lost bucket {}",
+                by_cause,
+                g.lost_gpu_secs,
+            );
+
+            let deaths: u64 = g.deaths_by_cause.iter().sum();
+            prop_assert_eq!(deaths, g.total_deaths());
+
+            // Every bucket is non-negative and checkpoint writes are a
+            // subset of useful time, never a fourth bucket.
+            for v in [g.useful_gpu_secs, g.lost_gpu_secs, g.idle_gpu_secs] {
+                prop_assert!(v >= 0.0, "negative bucket in {g:?}");
+            }
+            prop_assert!(
+                g.checkpoint_write_gpu_secs <= g.useful_gpu_secs + 1e-6,
+                "checkpoint writes {} exceed useful {}",
+                g.checkpoint_write_gpu_secs,
+                g.useful_gpu_secs,
+            );
+
+            // Deaths only happen when the injector actually fired, and
+            // lost time requires at least one death.
+            if out.stats.injected_failures == 0 {
+                prop_assert_eq!(g.total_deaths(), 0);
+            }
+            if g.lost_gpu_secs > 0.0 {
+                prop_assert!(g.total_deaths() > 0, "lost time without a death: {g:?}");
+            }
+        }
+    }
+}
+
 #[test]
 fn fcfs_order_is_respected_for_equal_requests() {
     // Among single-GPU jobs (identical GPU footprint), a job submitted
