@@ -7,6 +7,7 @@
 //!               [--failure-profile off|supercloud|stress|transient]
 //!               [--mtbf FACTOR]
 //!               [--trace FILE] [--trace-level off|spans|events]
+//!               [--policy off|powercap:WATTS|coshare|tiered]
 //! ```
 //!
 //! With no arguments this runs the full 125-day / 74,820-job Supercloud
@@ -31,6 +32,7 @@ use sc_cluster::{FailureModel, SimConfig, Simulation};
 use sc_core::AnalysisReport;
 use sc_obs::{chrome_trace_json, JsonlSink, Obs, StageLog, TraceLevel, TraceSink};
 use sc_opportunity::{CheckpointConfig, OpportunityReport};
+use sc_policy::{PolicyExperiment, PolicySpec};
 use sc_workload::{Trace, WorkloadSpec};
 
 struct Args {
@@ -44,6 +46,7 @@ struct Args {
     mtbf_factor: Option<f64>,
     trace: Option<String>,
     trace_level: Option<String>,
+    policy: PolicySpec,
 }
 
 const USAGE: &str = "usage: repro_figures [--scale F] [--seed N] [--out FILE] [--svg-dir DIR]
@@ -51,6 +54,7 @@ const USAGE: &str = "usage: repro_figures [--scale F] [--seed N] [--out FILE] [-
                      [--failure-profile off|supercloud|stress|transient]
                      [--mtbf FACTOR]
                      [--trace FILE] [--trace-level off|spans|events]
+                     [--policy off|powercap:WATTS|coshare|tiered]
 
   --scale F            scale the 125-day / 74,820-job workload by F (default 1.0)
   --seed N             master RNG seed (default 42)
@@ -66,7 +70,11 @@ const USAGE: &str = "usage: repro_figures [--scale F] [--seed N] [--out FILE] [-
                        stage spans
   --trace-level L      trace detail: off, spans, or events (default events
                        when --trace is given); the SC_OBS=level[:file] env
-                       var supplies a default when both flags are absent";
+                       var supplies a default when both flags are absent
+  --policy P           run the closed-loop policy A/B harness: replay the
+                       same trace with no policy and with P, and report
+                       the deltas (see the Policy engine section of the
+                       README); off (default) skips the harness";
 
 /// Prints an error plus the usage text and exits with status 2, the
 /// conventional bad-usage code.
@@ -87,6 +95,7 @@ fn parse_args() -> Args {
         mtbf_factor: None,
         trace: None,
         trace_level: None,
+        policy: PolicySpec::Off,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -126,6 +135,10 @@ fn parse_args() -> Args {
             }
             "--trace" => args.trace = Some(value("--trace")),
             "--trace-level" => args.trace_level = Some(value("--trace-level")),
+            "--policy" => {
+                args.policy =
+                    PolicySpec::parse(&value("--policy")).unwrap_or_else(|e| usage_error(&e));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -318,6 +331,25 @@ single-threaded event loop, so it is byte-identical at any \
 chrome://tracing or https://ui.perfetto.dev. With tracing off the \
 instrumentation compiles down to a cached enum compare per site.\n";
 
+/// The policy-engine section of the generated report: the closed-loop
+/// A/B methodology.
+const POLICY_AB: &str = "\n## Closed-loop policy A/B\n\n\
+The opportunity studies above score policies *offline* from the recorded \
+dataset. `--policy` closes the loop: the same seeded trace is replayed \
+twice through the identical simulator configuration — once with no \
+policy, once with a closed-loop policy riding inside the event loop — \
+so every delta below is attributable to the policy alone. Power capping \
+stretches throttled runs by the DVFS slowdown model and clamps the \
+synthesized telemetry; GPU co-sharing packs predicted-low-SM single-GPU \
+jobs two per board with interference from the phase-overlap model; tier \
+routing demotes non-mature classes to the slow tier (both arms get the \
+same two-tier hardware, so only the routing differs). Every decision is \
+counted in the simulation stats and emitted as an `sc-obs` event \
+(`cap_throttle`, `coshare_place`, `tier_route`); the closed-loop \
+outcomes are held to the offline models' predictions by \
+`tests/policy_acceptance.rs`, and byte-level determinism across thread \
+budgets by `tests/determinism.rs`.\n";
+
 fn main() {
     let args = parse_args();
     if let Some(n) = args.threads {
@@ -352,12 +384,9 @@ fn main() {
         );
         policy
     });
-    let sim = Simulation::new(SimConfig {
-        detailed_series_jobs: detailed,
-        failures,
-        checkpoint,
-        ..Default::default()
-    });
+    let sim_config =
+        SimConfig { detailed_series_jobs: detailed, failures, checkpoint, ..Default::default() };
+    let sim = Simulation::new(sim_config.clone());
     let sink = trace_path.as_ref().map(|path| {
         let file = std::fs::File::create(path)
             .unwrap_or_else(|e| fail(&format!("cannot create trace file {path}: {e}")));
@@ -439,11 +468,50 @@ fn main() {
         sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset).render(&spec.deadline_days)
     );
 
-    println!("{}", sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render());
+    println!(
+        "{}",
+        sc_core::facility::reconstruct(
+            &views,
+            sc_telemetry::gpu_power::SUPERCLOUD_GPUS,
+            sc_telemetry::gpu_power::V100_TDP_W,
+            sc_telemetry::gpu_power::V100_IDLE_W,
+        )
+        .render()
+    );
 
     // Opportunity studies (Secs. III/VI/VIII) over the same population.
     let opportunity = OpportunityReport::run(&views, 400);
     println!("{}", opportunity.render());
+
+    // Closed-loop policy A/B: replay the same trace with no policy and
+    // with the selected policy, on the same configuration minus the
+    // detailed-series sampling (the deltas don't need it). The policy
+    // arm shares the CLI's trace sink so every cap_throttle /
+    // coshare_place / tier_route decision lands in --trace output.
+    let policy_ab = (args.policy != PolicySpec::Off).then(|| {
+        eprintln!("running policy A/B ({}) ...", args.policy.label());
+        let t0 = std::time::Instant::now();
+        let exp = PolicyExperiment::new(
+            SimConfig { detailed_series_jobs: 0, ..sim_config.clone() },
+            args.policy,
+        );
+        let result = match &sink {
+            Some(s) => exp.run_observed(&trace, &Obs::new(s)),
+            None => exp.run(&trace),
+        };
+        eprintln!("policy A/B done in {:?}", t0.elapsed());
+        println!("{}", result.fig.render());
+        result.fig
+    });
+    if let Some(s) = &sink {
+        s.flush().unwrap_or_else(|e| fail(&format!("cannot flush trace file: {e}")));
+    }
+    if let (Some(fig), Some(dir)) = (&policy_ab, &args.svg_dir) {
+        let path = std::path::Path::new(dir).join("policy_ab.svg");
+        std::fs::write(&path, fig.to_svg())
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("wrote {}", path.display());
+    }
 
     if let Some(path) = args.out {
         let mut md = report.experiments_markdown();
@@ -457,11 +525,25 @@ fn main() {
             &sc_core::arrivals::ArrivalAnalysis::compute(&out.dataset).render(&spec.deadline_days),
         );
         md.push('\n');
-        md.push_str(&sc_core::facility::reconstruct(&views, 448, 300.0, 20.0).render());
+        md.push_str(
+            &sc_core::facility::reconstruct(
+                &views,
+                sc_telemetry::gpu_power::SUPERCLOUD_GPUS,
+                sc_telemetry::gpu_power::V100_TDP_W,
+                sc_telemetry::gpu_power::V100_IDLE_W,
+            )
+            .render(),
+        );
         md.push_str("```\n");
         md.push_str("\n## Opportunity studies (Secs. III, VI, VIII)\n\n```text\n");
         md.push_str(&opportunity.render());
         md.push_str("```\n");
+        if let Some(fig) = &policy_ab {
+            md.push_str(POLICY_AB);
+            md.push_str("\n```text\n");
+            md.push_str(&fig.render());
+            md.push_str("```\n");
+        }
         md.push_str(&format!(
             "\n---\nGenerated by `repro_figures --scale {} --seed {}`; detailed subset {} jobs; \
              simulated {} events.\n",

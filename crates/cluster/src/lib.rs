@@ -9,6 +9,8 @@
 //! - [`resources`]: node-level accounting and placement.
 //! - [`event`]: the discrete-event queue.
 //! - [`scheduler`]: FCFS + EASY backfill.
+//! - [`policy`]: closed-loop policy hooks (placement overrides,
+//!   dispatch-time stretch and power caps) driven by the event loop.
 //! - [`failure`]: the injected-failure taxonomy (GPU Xid faults, node
 //!   hardware, transient infra) and its deterministic schedule.
 //! - [`sim`]: the driver that replays a [`sc_workload::Trace`] and
@@ -31,6 +33,7 @@
 
 pub mod event;
 pub mod failure;
+pub mod policy;
 pub mod resources;
 pub mod scheduler;
 pub mod sim;
@@ -39,6 +42,7 @@ pub mod spec;
 pub use failure::{
     ClassModel, FailureCause, FailureModel, Interarrival, RetryPolicy, ScheduledFailure,
 };
+pub use policy::{Dispatch, Policy, PolicyDecision};
 pub use resources::{Allocation, ClusterState, NodeAlloc, NodeId, NodeState};
 pub use scheduler::{QueuedJob, RunningJob, SchedulePass, SchedulePolicy, Scheduler};
 pub use sim::{

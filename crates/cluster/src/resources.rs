@@ -119,20 +119,23 @@ impl ClusterState {
     /// co-locate (Fig. 3b).
     pub fn try_place(&self, job: &JobSpec) -> Option<Allocation> {
         if job.is_gpu_job() {
-            self.try_place_gpu(job)
+            // Tier routing (Sec. VIII Recommendation II): with a slow
+            // tier configured, interactive sessions go to the slow GPUs
+            // and everything else stays on the fast tier.
+            let route_slow = self.spec.slow_tier.is_some()
+                && job.interface == sc_telemetry::record::SubmissionInterface::Interactive;
+            self.try_place_gpu_routed(job, route_slow)
         } else {
             self.try_place_cpu(job)
         }
     }
 
-    fn try_place_gpu(&self, job: &JobSpec) -> Option<Allocation> {
+    /// GPU placement with an explicit tier choice, for routing policies
+    /// that override the interface-based default: `route_slow` selects
+    /// the slow tier when one is configured (and is ignored otherwise).
+    pub fn try_place_gpu_routed(&self, job: &JobSpec, route_slow: bool) -> Option<Allocation> {
         let g_total = job.gpus;
         let nps = self.spec.nodes_per_switch.max(1);
-        // Tier routing (Sec. VIII Recommendation II): with a slow tier
-        // configured, interactive sessions go to the slow GPUs and
-        // everything else stays on the fast tier.
-        let route_slow = self.spec.slow_tier.is_some()
-            && job.interface == sc_telemetry::record::SubmissionInterface::Interactive;
         let mut order: Vec<usize> = (0..self.nodes.len())
             .filter(|&i| {
                 self.spec.slow_tier.is_none() || (self.spec.is_slow_node(i as u32) == route_slow)

@@ -7,6 +7,7 @@
 //! finish before the shadow time. Estimates use requested limits — never
 //! actual run times — so the scheduler cannot cheat.
 
+use crate::policy::Policy;
 use crate::resources::{Allocation, ClusterState};
 use sc_telemetry::record::JobId;
 use sc_workload::JobSpec;
@@ -36,6 +37,10 @@ pub struct RunningJob {
     /// the fast tier) — needed to convert elapsed wall-clock back into
     /// completed work when a failure interrupts the job.
     pub stretch: f64,
+    /// Per-job power cap imposed by a dispatch policy, watts. Carried
+    /// here so the completion record (and hence the telemetry epilog)
+    /// knows to clamp the job's synthesized power.
+    pub power_cap_w: Option<f64>,
 }
 
 /// Decisions produced by one scheduling pass.
@@ -120,6 +125,29 @@ impl Scheduler {
         cluster: &mut ClusterState,
         jobs: &[JobSpec],
     ) -> SchedulePass {
+        self.schedule_with(now, cluster, jobs, None)
+    }
+
+    /// Like [`Scheduler::schedule`], consulting a closed-loop
+    /// [`Policy`] for placement overrides: the policy's
+    /// [`Policy::place`] is tried first for every candidate (head and
+    /// backfill alike) and the cluster's own packing is the fallback.
+    /// With `policy` `None` the pass is byte-identical to `schedule`.
+    pub fn schedule_with(
+        &mut self,
+        now: f64,
+        cluster: &mut ClusterState,
+        jobs: &[JobSpec],
+        mut policy: Option<&mut (dyn Policy + '_)>,
+    ) -> SchedulePass {
+        let mut place = |cluster: &ClusterState, job: &JobSpec| -> Option<Allocation> {
+            if let Some(p) = policy.as_deref_mut() {
+                if let Some(alloc) = p.place(job, cluster) {
+                    return Some(alloc);
+                }
+            }
+            cluster.try_place(job)
+        };
         let mut pass = SchedulePass::default();
         let mut blocked_shadow: Option<f64> = None;
         let mut i = 0;
@@ -128,7 +156,7 @@ impl Scheduler {
             let job = &jobs[q.trace_idx];
             match blocked_shadow {
                 None => {
-                    if let Some(alloc) = cluster.try_place(job) {
+                    if let Some(alloc) = place(cluster, job) {
                         cluster.allocate(&alloc);
                         pass.started.push((q.trace_idx, alloc));
                         self.pending.remove(i);
@@ -147,7 +175,7 @@ impl Scheduler {
                     // Backfill candidates must be guaranteed (by their
                     // requested limit) to clear out before the shadow.
                     if now + job.time_limit <= shadow {
-                        if let Some(alloc) = cluster.try_place(job) {
+                        if let Some(alloc) = place(cluster, job) {
                             cluster.allocate(&alloc);
                             pass.started.push((q.trace_idx, alloc));
                             self.pending.remove(i);
@@ -274,6 +302,7 @@ mod tests {
                 start_time: 0.0,
                 estimated_end: 1000.0,
                 stretch: 1.0,
+                power_cap_w: None,
             },
         );
         s.submit(1, 1.0);
@@ -300,6 +329,7 @@ mod tests {
                 start_time: 0.0,
                 estimated_end: 1000.0,
                 stretch: 1.0,
+                power_cap_w: None,
             },
         );
         s.submit(1, 1.0);
@@ -329,6 +359,7 @@ mod tests {
                 start_time: 0.0,
                 estimated_end: 1000.0,
                 stretch: 1.0,
+                power_cap_w: None,
             },
         );
         s.submit(1, 1.0);
@@ -353,6 +384,7 @@ mod tests {
                 start_time: 0.0,
                 estimated_end: 100.0,
                 stretch: 1.0,
+                power_cap_w: None,
             },
         );
         assert_eq!(s.running_len(), 1);

@@ -4,6 +4,7 @@
 
 use crate::event::{Event, EventQueue};
 use crate::failure::{FailureModel, ScheduledFailure};
+use crate::policy::{Dispatch, Policy, PolicyDecision};
 use crate::resources::ClusterState;
 use crate::scheduler::{RunningJob, Scheduler};
 use crate::spec::ClusterSpec;
@@ -111,6 +112,12 @@ pub struct SimStats {
     /// Attempts that resumed from checkpoint-preserved work instead of
     /// starting from scratch.
     pub checkpoint_restores: u64,
+    /// Closed-loop policy: attempts throttled by a power cap.
+    pub policy_cap_throttles: u64,
+    /// Closed-loop policy: guest attempts placed onto a shared GPU.
+    pub policy_coshares: u64,
+    /// Closed-loop policy: attempts tier-routed by a routing policy.
+    pub policy_tier_routes: u64,
 }
 
 /// The goodput ledger: every allocated GPU-second attributed to exactly
@@ -227,6 +234,8 @@ struct Completion {
     start_time: f64,
     end_time: f64,
     exit: ExitStatus,
+    /// Power cap the final attempt ran under, if a policy imposed one.
+    cap_w: Option<f64>,
 }
 
 /// Per-job recovery bookkeeping, indexed by trace index.
@@ -299,6 +308,31 @@ impl Simulation {
     /// [`Obs::off`] each instrumentation site costs one enum compare
     /// and the output equals `run_timed`'s exactly.
     pub fn run_observed(&self, trace: &Trace, obs: &Obs<'_>) -> (SimOutput, SimTimings) {
+        self.run_inner(trace, obs, None)
+    }
+
+    /// Like [`Simulation::run_observed`], with a closed-loop [`Policy`]
+    /// riding inside the event loop. The policy sees every admission,
+    /// scheduler tick, and release; may override placement; and its
+    /// dispatch directives (stretch, per-job power cap) change the
+    /// simulated outcomes. Each decision is recorded as an `sc-obs`
+    /// event (`cap_throttle`, `coshare_place`, `tier_route`) and
+    /// counted in [`SimStats`].
+    pub fn run_policy(
+        &self,
+        trace: &Trace,
+        obs: &Obs<'_>,
+        policy: &mut dyn Policy,
+    ) -> (SimOutput, SimTimings) {
+        self.run_inner(trace, obs, Some(policy))
+    }
+
+    fn run_inner(
+        &self,
+        trace: &Trace,
+        obs: &Obs<'_>,
+        mut policy: Option<&mut (dyn Policy + '_)>,
+    ) -> (SimOutput, SimTimings) {
         let wall = std::time::Instant::now();
         let jobs = trace.jobs();
         let mut cluster = ClusterState::new(self.config.cluster.clone());
@@ -374,12 +408,19 @@ impl Simulation {
                             ],
                         );
                     }
+                    if let Some(p) = policy.as_deref_mut() {
+                        p.admit(&jobs[idx], now);
+                    }
                     scheduler.submit(idx, now);
                     // The scheduling loop wakes up a beat later.
                     queue.push(now + self.config.sched_latency_secs, Event::Tick);
                     continue;
                 }
-                Event::Tick => {}
+                Event::Tick => {
+                    if let Some(p) = policy.as_deref_mut() {
+                        p.tick(now, &cluster);
+                    }
+                }
                 Event::Finish { job, attempt } => {
                     match pending_end.get(&job) {
                         Some(&(_, _, live)) if live == attempt => {}
@@ -420,6 +461,7 @@ impl Simulation {
                         start_time: running.start_time,
                         end_time,
                         exit,
+                        cap_w: running.power_cap_w,
                     });
                     fates.push(JobFate {
                         job_id: job,
@@ -428,6 +470,9 @@ impl Simulation {
                         exit,
                         last_cause: exit_cause(exit).or(prog.last_cause),
                     });
+                    if let Some(p) = policy.as_deref_mut() {
+                        p.release(job, now);
+                    }
                 }
                 Event::Fault(fi) => {
                     let f = failure_schedule[fi];
@@ -468,6 +513,9 @@ impl Simulation {
                             &mut completions,
                             &mut fates,
                         );
+                        if let Some(p) = policy.as_deref_mut() {
+                            p.release(victim, now);
+                        }
                     } else {
                         // Whole-node event: every resident dies and the
                         // node leaves service for repair.
@@ -492,6 +540,9 @@ impl Simulation {
                                 &mut completions,
                                 &mut fates,
                             );
+                            if let Some(p) = policy.as_deref_mut() {
+                                p.release(job_id, now);
+                            }
                         }
                         down.insert(f.node);
                         cluster.set_offline(f.node);
@@ -515,12 +566,12 @@ impl Simulation {
                 }
             }
             // One scheduling pass after every event.
-            let pass = scheduler.schedule(now, &mut cluster, jobs);
+            let pass = scheduler.schedule_with(now, &mut cluster, jobs, policy.as_deref_mut());
             for (idx, alloc) in pass.started {
                 let job = &jobs[idx];
                 // Slow-tier physics: compute-bound work stretches by
                 // 1/speed; idle (data/CPU) time is speed-invariant.
-                let stretch = match self.config.cluster.slow_tier {
+                let tier_stretch = match self.config.cluster.slow_tier {
                     Some(tier)
                         if alloc
                             .parts
@@ -536,6 +587,58 @@ impl Simulation {
                     }
                     _ => 1.0,
                 };
+                // Dispatch directive: the policy may stretch the run
+                // further (DVFS throttling, co-location interference)
+                // and impose a per-job power cap on its telemetry.
+                let directive = match policy.as_deref_mut() {
+                    Some(p) => p.dispatch(job, &alloc, now),
+                    None => Dispatch::default(),
+                };
+                let stretch = tier_stretch * directive.stretch.max(1.0);
+                match directive.decision {
+                    Some(PolicyDecision::CapThrottle { cap_w, slowdown }) => {
+                        stats.policy_cap_throttles += 1;
+                        if obs.events_on() {
+                            obs.event(
+                                now,
+                                "cap_throttle",
+                                vec![
+                                    ("job", job.job_id.0.into()),
+                                    ("cap_w", cap_w.into()),
+                                    ("slowdown", slowdown.into()),
+                                ],
+                            );
+                        }
+                    }
+                    Some(PolicyDecision::CosharePlace { host, slowdown }) => {
+                        stats.policy_coshares += 1;
+                        if obs.events_on() {
+                            obs.event(
+                                now,
+                                "coshare_place",
+                                vec![
+                                    ("job", job.job_id.0.into()),
+                                    ("host", host.0.into()),
+                                    ("slowdown", slowdown.into()),
+                                ],
+                            );
+                        }
+                    }
+                    Some(PolicyDecision::TierRoute { slow }) => {
+                        stats.policy_tier_routes += 1;
+                        if obs.events_on() {
+                            obs.event(
+                                now,
+                                "tier_route",
+                                vec![
+                                    ("job", job.job_id.0.into()),
+                                    ("slow", u64::from(slow).into()),
+                                ],
+                            );
+                        }
+                    }
+                    None => {}
+                }
                 progress[idx].attempts += 1;
                 let attempt = progress[idx].attempts;
                 if progress[idx].completed_work > 0.0 {
@@ -573,6 +676,7 @@ impl Simulation {
                         start_time: now,
                         estimated_end: now + job.time_limit,
                         stretch,
+                        power_cap_w: directive.power_cap_w,
                     },
                 );
                 pending_end.insert(job.job_id, (end_time, exit, attempt));
@@ -640,6 +744,7 @@ impl Simulation {
                 c.start_time,
                 c.end_time,
                 c.exit,
+                c.cap_w,
                 detailed_fraction,
                 &sampler,
             )
@@ -818,6 +923,7 @@ impl Simulation {
                 start_time: running.start_time,
                 end_time: now.max(running.start_time + 1.0),
                 exit: ExitStatus::NodeFailure,
+                cap_w: running.power_cap_w,
             });
             fates.push(JobFate {
                 job_id,
@@ -885,12 +991,14 @@ impl Simulation {
     /// sampled series reduced to phase statistics. Pure with respect to
     /// its inputs (the ground truth regenerates from the job's seed),
     /// which is what lets the batch run in parallel.
+    #[allow(clippy::too_many_arguments)]
     fn synthesize_epilog(
         &self,
         job: &JobSpec,
         start_time: f64,
         end_time: f64,
         exit: ExitStatus,
+        cap_w: Option<f64>,
         detailed_fraction: f64,
         sampler: &GpuSampler,
     ) -> JobEpilog {
@@ -912,10 +1020,17 @@ impl Simulation {
         let mut detailed = None;
         if job.is_gpu_job() && run_time >= MIN_GPU_JOB_RUNTIME_SECS {
             if let Some(truth) = job.ground_truth() {
-                gpu = Some(GpuJobRecord {
-                    job_id: job.job_id,
-                    per_gpu: truth.analytic_aggregates(run_time),
-                });
+                let mut per_gpu = truth.analytic_aggregates(run_time);
+                if let Some(cap) = cap_w {
+                    // A capped board reports capped power: the cap
+                    // clamps what telemetry sees (utilizations are
+                    // untouched — capping slows the clock, it does not
+                    // idle the SMs).
+                    for a in &mut per_gpu {
+                        *a = a.with_power_cap(cap);
+                    }
+                }
+                gpu = Some(GpuJobRecord { job_id: job.job_id, per_gpu });
                 if hash_unit(job.truth_seed ^ 0x5eed_cafe) < detailed_fraction {
                     let series = sampler.sample_series(&truth, run_time);
                     if !series.is_empty() {

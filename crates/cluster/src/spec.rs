@@ -16,7 +16,11 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// The V100 of Table I.
     pub fn v100() -> Self {
-        GpuSpec { model: "Nvidia Volta V100".to_string(), mem_gib: 32.0, tdp_w: 300.0 }
+        GpuSpec {
+            model: "Nvidia Volta V100".to_string(),
+            mem_gib: 32.0,
+            tdp_w: sc_telemetry::gpu_power::V100_TDP_W,
+        }
     }
 }
 

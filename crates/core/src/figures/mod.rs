@@ -21,6 +21,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod goodput;
+pub mod policy_ab;
 pub mod timeline;
 
 pub use fig03::Fig3;
@@ -39,4 +40,5 @@ pub use fig15::Fig15;
 pub use fig16::Fig16;
 pub use fig17::Fig17;
 pub use goodput::GoodputFig;
+pub use policy_ab::{PolicyAbFig, PolicyArm};
 pub use timeline::ClusterTimelineFig;

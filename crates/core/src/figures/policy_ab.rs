@@ -1,0 +1,237 @@
+//! Policy A/B what-if deltas — the closed-loop extension.
+//!
+//! Not a figure of the HPCA 2022 paper: the paper's opportunity
+//! analyses (power capping, GPU sharing, tiering) are offline
+//! what-ifs over the measured dataset. This figure reports the
+//! *closed-loop* counterpart: the same trace replayed twice through
+//! the simulator — once as the production baseline, once with a
+//! scheduling policy riding in the event loop — and the deltas the
+//! policy actually produced in queue waits, goodput, energy, and
+//! throughput.
+
+use sc_cluster::SimOutput;
+use sc_telemetry::gpu_power::gpu_energy_kwh;
+use sc_telemetry::record::ExitStatus;
+
+/// One arm's scalar outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyArm {
+    /// Arm label ("baseline" or the policy's label).
+    pub label: String,
+    /// Mean queue wait over all jobs, seconds.
+    pub mean_queue_wait_secs: f64,
+    /// 95th-percentile queue wait, seconds.
+    pub p95_queue_wait_secs: f64,
+    /// Goodput fraction of the ledger (`useful / allocated`).
+    pub goodput_fraction: f64,
+    /// Useful GPU-hours delivered (all attempts).
+    pub useful_gpu_hours: f64,
+    /// Integrated GPU board energy over every analyzed job, kWh. With
+    /// a power-cap policy the capped telemetry makes this drop even
+    /// though runs stretch.
+    pub energy_kwh: f64,
+    /// Completed (successful) jobs per simulated day.
+    pub jobs_per_day: f64,
+    /// Jobs that completed successfully.
+    pub completed_jobs: usize,
+    /// Jobs reaped at their wall-clock limit.
+    pub timeout_jobs: usize,
+    /// Peak concurrent GPUs in use.
+    pub peak_gpus: u32,
+    /// Jobs placed on the slow tier.
+    pub slow_tier_jobs: usize,
+    /// Policy cap-throttle decisions.
+    pub cap_throttles: u64,
+    /// Policy co-share placements.
+    pub coshares: u64,
+    /// Policy tier-route decisions.
+    pub tier_routes: u64,
+}
+
+impl PolicyArm {
+    /// Computes one arm's scalars from a simulation output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output has no records (an empty trace).
+    pub fn compute(label: &str, out: &SimOutput) -> Self {
+        let records = out.dataset.records();
+        assert!(!records.is_empty(), "need jobs");
+        let mut waits: Vec<f64> = records.iter().map(|r| r.sched.queue_wait()).collect();
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+        let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
+        let p95 = waits[((waits.len() - 1) as f64 * 0.95) as usize];
+        let energy_kwh = records
+            .iter()
+            .filter_map(|r| r.gpu.as_ref().map(|g| gpu_energy_kwh(&g.per_gpu, r.sched.run_time())))
+            .sum();
+        let completed = records.iter().filter(|r| r.sched.exit == ExitStatus::Completed).count();
+        let timeouts = records.iter().filter(|r| r.sched.exit == ExitStatus::Timeout).count();
+        let days = (out.stats.makespan_secs / 86_400.0).max(1e-9);
+        PolicyArm {
+            label: label.to_string(),
+            mean_queue_wait_secs: mean_wait,
+            p95_queue_wait_secs: p95,
+            goodput_fraction: out.goodput.goodput_fraction(),
+            useful_gpu_hours: out.goodput.useful_gpu_secs / 3600.0,
+            energy_kwh,
+            jobs_per_day: completed as f64 / days,
+            completed_jobs: completed,
+            timeout_jobs: timeouts,
+            peak_gpus: out.stats.peak_gpus_in_use,
+            slow_tier_jobs: out.stats.slow_tier_jobs,
+            cap_throttles: out.stats.policy_cap_throttles,
+            coshares: out.stats.policy_coshares,
+            tier_routes: out.stats.policy_tier_routes,
+        }
+    }
+}
+
+/// The A/B comparison: one trace, two arms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyAbFig {
+    /// The policy label (e.g. `powercap:250`).
+    pub policy_name: String,
+    /// The no-policy arm.
+    pub baseline: PolicyArm,
+    /// The policy arm.
+    pub policy: PolicyArm,
+}
+
+/// Percent change of `b` over `a` (0 when `a` is ~zero).
+fn pct_delta(a: f64, b: f64) -> f64 {
+    if a.abs() < 1e-12 {
+        0.0
+    } else {
+        (b - a) / a * 100.0
+    }
+}
+
+impl PolicyAbFig {
+    /// Computes the deltas from two runs of the same trace.
+    pub fn compute(policy_name: &str, baseline: &SimOutput, policy: &SimOutput) -> Self {
+        PolicyAbFig {
+            policy_name: policy_name.to_string(),
+            baseline: PolicyArm::compute("baseline", baseline),
+            policy: PolicyArm::compute(policy_name, policy),
+        }
+    }
+
+    /// `(metric, baseline, policy, delta%)` rows for the scalar metrics.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64, f64)> {
+        let (a, b) = (&self.baseline, &self.policy);
+        vec![
+            (
+                "mean queue wait (s)",
+                a.mean_queue_wait_secs,
+                b.mean_queue_wait_secs,
+                pct_delta(a.mean_queue_wait_secs, b.mean_queue_wait_secs),
+            ),
+            (
+                "p95 queue wait (s)",
+                a.p95_queue_wait_secs,
+                b.p95_queue_wait_secs,
+                pct_delta(a.p95_queue_wait_secs, b.p95_queue_wait_secs),
+            ),
+            (
+                "goodput fraction",
+                a.goodput_fraction,
+                b.goodput_fraction,
+                pct_delta(a.goodput_fraction, b.goodput_fraction),
+            ),
+            (
+                "useful GPU-hours",
+                a.useful_gpu_hours,
+                b.useful_gpu_hours,
+                pct_delta(a.useful_gpu_hours, b.useful_gpu_hours),
+            ),
+            ("GPU energy (kWh)", a.energy_kwh, b.energy_kwh, pct_delta(a.energy_kwh, b.energy_kwh)),
+            (
+                "completed jobs/day",
+                a.jobs_per_day,
+                b.jobs_per_day,
+                pct_delta(a.jobs_per_day, b.jobs_per_day),
+            ),
+            (
+                "peak GPUs in use",
+                a.peak_gpus as f64,
+                b.peak_gpus as f64,
+                pct_delta(a.peak_gpus as f64, b.peak_gpus as f64),
+            ),
+        ]
+    }
+
+    /// Renders the delta table as text.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Policy A/B — baseline vs {} (same trace, same seed):\n  \
+             metric               baseline      policy     delta\n",
+            self.policy_name
+        );
+        for (name, a, b, d) in self.rows() {
+            s.push_str(&format!("  {name:<20} {a:>9.2}  {b:>9.2}  {d:>+7.1}%\n"));
+        }
+        s.push_str(&format!(
+            "  completed/timeout jobs: {}/{} -> {}/{}; slow-tier jobs: {} -> {}\n",
+            self.baseline.completed_jobs,
+            self.baseline.timeout_jobs,
+            self.policy.completed_jobs,
+            self.policy.timeout_jobs,
+            self.baseline.slow_tier_jobs,
+            self.policy.slow_tier_jobs,
+        ));
+        s.push_str(&format!(
+            "  policy decisions: cap_throttle={} coshare_place={} tier_route={}\n",
+            self.policy.cap_throttles, self.policy.coshares, self.policy.tier_routes
+        ));
+        s
+    }
+
+    /// The delta bar chart as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let bars: Vec<(String, f64)> =
+            self.rows().iter().map(|(name, _, _, d)| (name.to_string(), *d)).collect();
+        crate::svg::bar_chart(
+            &format!("Policy A/B deltas: {} vs baseline", self.policy_name),
+            "delta vs baseline (%)",
+            &bars,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::small_sim;
+
+    #[test]
+    fn identical_arms_have_zero_deltas() {
+        let out = small_sim();
+        let fig = PolicyAbFig::compute("off", out, out);
+        for (name, _, _, d) in fig.rows() {
+            assert_eq!(d, 0.0, "{name} delta must be zero for identical arms");
+        }
+        let text = fig.render();
+        assert!(text.contains("baseline vs off"));
+        assert!(text.contains("mean queue wait"));
+        assert!(fig.to_svg().contains("<svg"));
+    }
+
+    #[test]
+    fn arm_scalars_are_sane() {
+        let arm = PolicyArm::compute("baseline", small_sim());
+        assert!(arm.mean_queue_wait_secs >= 0.0);
+        assert!(arm.p95_queue_wait_secs >= arm.mean_queue_wait_secs * 0.0);
+        assert!(arm.goodput_fraction > 0.0 && arm.goodput_fraction <= 1.0);
+        assert!(arm.energy_kwh > 0.0, "GPU jobs must integrate energy");
+        assert!(arm.completed_jobs > 0);
+        assert!(arm.jobs_per_day > 0.0);
+        assert_eq!(arm.cap_throttles, 0, "no policy ran");
+    }
+
+    #[test]
+    fn pct_delta_handles_zero_base() {
+        assert_eq!(pct_delta(0.0, 5.0), 0.0);
+        assert!((pct_delta(100.0, 110.0) - 10.0).abs() < 1e-12);
+    }
+}

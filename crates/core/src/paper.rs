@@ -109,7 +109,7 @@ pub mod fig9 {
     /// Median job-maximum GPU power, watts.
     pub const MAX_POWER_MEDIAN_W: f64 = 87.0;
     /// V100 maximum power draw, watts.
-    pub const TDP_W: f64 = 300.0;
+    pub const TDP_W: f64 = sc_telemetry::gpu_power::V100_TDP_W;
     /// Fraction of jobs unimpacted by a 150 W cap (even at max draw).
     pub const UNIMPACTED_AT_150W: f64 = 0.60;
     /// Fraction of jobs whose *average* draw exceeds 150 W.

@@ -73,7 +73,13 @@ impl OpportunityReport {
     pub fn run(views: &[GpuJobView<'_>], colocation_sample: usize) -> Self {
         assert!(!views.is_empty(), "need jobs");
         let caps = [100.0, 150.0, 200.0, 250.0, 300.0];
-        let powercap = OverProvisionStudy::run(views, &caps, 448.0 * 300.0, 300.0, 20.0);
+        let powercap = OverProvisionStudy::run(
+            views,
+            &caps,
+            sc_telemetry::gpu_power::FACILITY_BUDGET_W,
+            sc_telemetry::gpu_power::V100_TDP_W,
+            sc_telemetry::gpu_power::V100_IDLE_W,
+        );
 
         // Co-location candidates: each sampled single-GPU job is given a
         // synthetic phase process matching its *observed* mean levels and

@@ -10,11 +10,9 @@
 use sc_core::GpuJobView;
 use serde::{Deserialize, Serialize};
 
-/// DVFS sensitivity: fractional performance lost per fractional power
-/// clipped. Volta performance scales roughly with the cube root of
-/// power near the TDP, so clipping x% of power costs ≈ x/3 % of
-/// performance.
-pub const DVFS_PERF_PER_POWER: f64 = 1.0 / 3.0;
+/// DVFS sensitivity, re-exported from the shared power-constants module
+/// (one source of truth for every crate that models capping).
+pub use sc_telemetry::gpu_power::DVFS_PERF_PER_POWER;
 
 /// The per-cap outcome of the over-provisioning study.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

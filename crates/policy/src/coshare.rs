@@ -1,0 +1,226 @@
+//! Closed-loop GPU sharing: pack predicted-low-utilization single-GPU
+//! jobs two per GPU.
+//!
+//! The offline [`sc_opportunity::colocation`] study scores pairing
+//! policies over completed jobs. This policy makes the pairing live:
+//! when a single-GPU job with low predicted SM utilization starts, its
+//! GPU becomes an open *host slot*; a later eligible job is placed as a
+//! zero-GPU *guest* on the same node and stretched by the interference
+//! slowdown the phase-overlap model ([`simulate_pair`]) predicts for
+//! that concrete pair of telemetry ground truths.
+//!
+//! Documented approximations (kept deliberately one-sided so the
+//! acceptance band against the offline study is meaningful):
+//!
+//! - The host is assumed undisturbed; only the guest stretches.
+//! - The guest's stretch is fixed at pairing time from a bounded
+//!   interference window, not re-evaluated as phases drift.
+//! - Guests hold zero scheduler GPUs (the host owns the board), so the
+//!   goodput ledger and Xid fault targeting see only the host's GPU.
+
+use std::collections::HashMap;
+
+use sc_cluster::{Allocation, ClusterState, Dispatch, NodeAlloc, NodeId, Policy, PolicyDecision};
+use sc_opportunity::colocation::simulate_pair;
+use sc_telemetry::record::JobId;
+use sc_workload::{GpuGroundTruth, JobSpec};
+
+/// One GPU with spare capacity: a running low-utilization single-GPU job.
+#[derive(Debug, Clone)]
+struct HostSlot {
+    host: JobId,
+    node: NodeId,
+    truth: GpuGroundTruth,
+    duration: f64,
+}
+
+/// Packs predicted-low-utilization single-GPU jobs two per GPU.
+#[derive(Debug)]
+pub struct CosharePolicy {
+    /// Predicted mean SM utilization (percent) below which a single-GPU
+    /// job may host or ride along.
+    pub sm_threshold: f64,
+    /// Interference window, seconds: pair slowdowns are evaluated over
+    /// at most this much overlap per side.
+    pub window_secs: f64,
+    /// Open host slots, oldest first (FIFO matching).
+    slots: Vec<HostSlot>,
+    /// Guests placed but not yet dispatched: guest id -> (host, stretch).
+    pending: HashMap<JobId, (JobId, f64)>,
+}
+
+impl Default for CosharePolicy {
+    fn default() -> Self {
+        CosharePolicy {
+            sm_threshold: 25.0,
+            window_secs: 1800.0,
+            slots: Vec::new(),
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl CosharePolicy {
+    /// Whether `job` may participate in sharing (either side).
+    fn eligible(&self, job: &JobSpec) -> bool {
+        job.gpus == 1
+            && job.idle_gpus == 0
+            && job.truth_params.as_ref().is_some_and(|t| t.mean_levels.sm < self.sm_threshold)
+    }
+
+    fn bounded_run(&self, job: &JobSpec) -> f64 {
+        job.outcome.run_time(job.time_limit).clamp(60.0, self.window_secs)
+    }
+}
+
+impl Policy for CosharePolicy {
+    fn name(&self) -> &'static str {
+        "coshare"
+    }
+
+    fn place(&mut self, job: &JobSpec, cluster: &ClusterState) -> Option<Allocation> {
+        if !self.eligible(job) || self.slots.is_empty() {
+            return None;
+        }
+        // Oldest open slot whose node still has CPU and memory headroom
+        // for the guest (the GPU itself is the host's).
+        let nodes = cluster.nodes();
+        let idx = self.slots.iter().position(|s| {
+            let n = &nodes[s.node.0 as usize];
+            n.cpus_free >= job.cpus && n.mem_free_gib >= job.mem_gib
+        })?;
+        let guest_truth = job.ground_truth()?;
+        let slot = self.slots.remove(idx);
+        let pair =
+            simulate_pair(&slot.truth, &guest_truth.gpus[0], slot.duration, self.bounded_run(job));
+        let slowdown = pair.slowdown_b.max(1.0);
+        self.pending.insert(job.job_id, (slot.host, slowdown));
+        Some(Allocation {
+            parts: vec![NodeAlloc {
+                node: slot.node,
+                gpus: 0,
+                cpus: job.cpus,
+                mem_gib: job.mem_gib,
+            }],
+        })
+    }
+
+    fn dispatch(&mut self, job: &JobSpec, alloc: &Allocation, _now: f64) -> Dispatch {
+        if let Some((host, slowdown)) = self.pending.remove(&job.job_id) {
+            return Dispatch {
+                stretch: slowdown,
+                power_cap_w: None,
+                decision: Some(PolicyDecision::CosharePlace { host, slowdown }),
+            };
+        }
+        // A low-utilization single that got a whole GPU opens a slot.
+        if self.eligible(job) && alloc.total_gpus() == 1 {
+            if let Some(truth) = job.ground_truth() {
+                self.slots.push(HostSlot {
+                    host: job.job_id,
+                    node: alloc.parts[0].node,
+                    truth: truth.gpus[0].clone(),
+                    duration: self.bounded_run(job),
+                });
+            }
+        }
+        Dispatch::default()
+    }
+
+    fn release(&mut self, job: JobId, _now: f64) {
+        self.slots.retain(|s| s.host != job);
+        self.pending.remove(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_cluster::ClusterSpec;
+    use sc_telemetry::record::{SubmissionInterface, UserId};
+    use sc_workload::{PlannedOutcome, ResourceLevels, TruthParams};
+
+    fn low_sm_job(id: u64, seed: u64) -> JobSpec {
+        JobSpec {
+            job_id: JobId(id),
+            user: UserId(0),
+            arrival: 0.0,
+            interface: SubmissionInterface::Other,
+            gpus: 1,
+            cpus: 4,
+            mem_gib: 16.0,
+            time_limit: 3600.0,
+            class: None,
+            outcome: PlannedOutcome::Complete { work_secs: 1200.0 },
+            truth_params: Some(TruthParams {
+                duration: 1400.0,
+                active_fraction: 0.4,
+                mean_levels: ResourceLevels {
+                    sm: 12.0,
+                    mem: 8.0,
+                    mem_size: 10.0,
+                    pcie_tx: 50.0,
+                    pcie_rx: 50.0,
+                },
+                ..Default::default()
+            }),
+            idle_gpus: 0,
+            truth_seed: seed,
+            checkpointable: true,
+            max_restarts: 0,
+        }
+    }
+
+    #[test]
+    fn host_then_guest_pairs_on_the_same_node() {
+        let mut p = CosharePolicy::default();
+        let cluster = ClusterState::new(ClusterSpec::supercloud());
+        let host = low_sm_job(1, 11);
+        let host_alloc = cluster.try_place(&host).expect("fits empty cluster");
+        assert_eq!(p.dispatch(&host, &host_alloc, 0.0), Dispatch::default());
+
+        let guest = low_sm_job(2, 22);
+        let alloc = p.place(&guest, &cluster).expect("guest should co-place");
+        assert_eq!(alloc.total_gpus(), 0, "guest borrows the host's GPU");
+        assert_eq!(alloc.parts[0].node, host_alloc.parts[0].node);
+
+        let d = p.dispatch(&guest, &alloc, 10.0);
+        assert!(d.stretch >= 1.0);
+        match d.decision {
+            Some(PolicyDecision::CosharePlace { host: h, slowdown }) => {
+                assert_eq!(h, JobId(1));
+                assert!(slowdown >= 1.0);
+            }
+            other => panic!("expected CosharePlace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_jobs_and_multi_gpu_jobs_never_pair() {
+        let mut p = CosharePolicy::default();
+        let cluster = ClusterState::new(ClusterSpec::supercloud());
+        let mut hot = low_sm_job(1, 11);
+        hot.truth_params.as_mut().unwrap().mean_levels.sm = 80.0;
+        let alloc = cluster.try_place(&hot).unwrap();
+        p.dispatch(&hot, &alloc, 0.0);
+        assert!(p.place(&low_sm_job(2, 22), &cluster).is_none(), "no slot was opened");
+
+        let quiet = low_sm_job(3, 33);
+        let qa = cluster.try_place(&quiet).unwrap();
+        p.dispatch(&quiet, &qa, 0.0);
+        let mut wide = low_sm_job(4, 44);
+        wide.gpus = 2;
+        assert!(p.place(&wide, &cluster).is_none(), "multi-GPU jobs keep whole boards");
+    }
+
+    #[test]
+    fn release_closes_the_slot() {
+        let mut p = CosharePolicy::default();
+        let cluster = ClusterState::new(ClusterSpec::supercloud());
+        let host = low_sm_job(1, 11);
+        let alloc = cluster.try_place(&host).unwrap();
+        p.dispatch(&host, &alloc, 0.0);
+        p.release(JobId(1), 100.0);
+        assert!(p.place(&low_sm_job(2, 22), &cluster).is_none(), "slot died with its host");
+    }
+}

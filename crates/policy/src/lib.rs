@@ -1,0 +1,144 @@
+//! Closed-loop scheduling policies and the deterministic A/B harness.
+//!
+//! The paper's Section VII opportunity analyses (power capping, GPU
+//! sharing, tier routing) are *offline* what-ifs scored against the
+//! measured dataset. This crate closes the loop: each opportunity
+//! becomes a [`sc_cluster::Policy`] that rides inside the discrete-event
+//! loop and changes what the simulated cluster actually does, and
+//! [`PolicyExperiment`] replays the *same* seeded trace twice — once as
+//! the production baseline, once with the policy — to measure the deltas
+//! the analytic models only predict.
+//!
+//! - [`PowerCapPolicy`]: per-GPU power-cap enforcement; capped jobs
+//!   stretch by the [`sc_opportunity::powercap`] DVFS slowdown model and
+//!   report capped telemetry.
+//! - [`CosharePolicy`]: packs predicted-low-utilization single-GPU jobs
+//!   two per GPU, with interference drawn from the
+//!   [`sc_opportunity::colocation`] phase-overlap model.
+//! - [`TieredPolicy`]: routes jobs between fast and slow tiers by
+//!   lifecycle class using [`sc_opportunity::tiering::RoutingPolicy`].
+//!
+//! Every policy is a pure function of the simulation state it observes
+//! (ground truth is regenerated from per-job seeds), so policy runs are
+//! byte-identical at any `sc_par` thread budget.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coshare;
+pub mod experiment;
+pub mod powercap;
+pub mod tiered;
+
+pub use coshare::CosharePolicy;
+pub use experiment::{ExperimentResult, PolicyExperiment};
+pub use powercap::PowerCapPolicy;
+pub use tiered::TieredPolicy;
+
+use sc_cluster::{ClusterSpec, Policy};
+use sc_opportunity::tiering::RoutingPolicy;
+
+/// A parsed `--policy` selection, as accepted by `repro_figures`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// No policy: the A/B harness runs two identical baselines.
+    Off,
+    /// Enforce a per-GPU power cap, watts.
+    PowerCap {
+        /// The cap, watts.
+        cap_w: f64,
+    },
+    /// Pack low-utilization single-GPU jobs two per GPU.
+    Coshare,
+    /// Route non-mature classes to a slow tier (the harness gives both
+    /// arms the same two-tier hardware so only routing differs).
+    Tiered,
+}
+
+impl PolicySpec {
+    /// Parses a CLI selector: `off`, `powercap:<watts>`, `coshare`, or
+    /// `tiered`.
+    pub fn parse(s: &str) -> Result<PolicySpec, String> {
+        match s {
+            "off" => Ok(PolicySpec::Off),
+            "coshare" => Ok(PolicySpec::Coshare),
+            "tiered" => Ok(PolicySpec::Tiered),
+            _ => {
+                if let Some(w) = s.strip_prefix("powercap:") {
+                    let cap_w: f64 =
+                        w.parse().map_err(|_| format!("bad watts in --policy {s:?}"))?;
+                    if !cap_w.is_finite() || cap_w <= 0.0 {
+                        return Err(format!("--policy powercap needs positive watts, got {w}"));
+                    }
+                    Ok(PolicySpec::PowerCap { cap_w })
+                } else {
+                    Err(format!(
+                        "unknown policy {s:?}: expected off | powercap:<watts> | coshare | tiered"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Display label (`powercap:250` style; watts rounded).
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Off => "off".to_string(),
+            PolicySpec::PowerCap { cap_w } => format!("powercap:{}", cap_w.round() as i64),
+            PolicySpec::Coshare => "coshare".to_string(),
+            PolicySpec::Tiered => "tiered".to_string(),
+        }
+    }
+
+    /// Builds the policy object, or `None` for [`PolicySpec::Off`].
+    ///
+    /// `cluster` must be the spec the simulation will actually run with
+    /// (tier routing reads its slow-tier layout).
+    pub fn build(&self, cluster: &ClusterSpec) -> Option<Box<dyn Policy>> {
+        match *self {
+            PolicySpec::Off => None,
+            PolicySpec::PowerCap { cap_w } => Some(Box::new(PowerCapPolicy::new(cap_w))),
+            PolicySpec::Coshare => Some(Box::new(CosharePolicy::default())),
+            PolicySpec::Tiered => {
+                Some(Box::new(TieredPolicy::new(RoutingPolicy::DemoteNonMature, cluster.clone())))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_cli_matrix() {
+        assert_eq!(PolicySpec::parse("off").unwrap(), PolicySpec::Off);
+        assert_eq!(PolicySpec::parse("coshare").unwrap(), PolicySpec::Coshare);
+        assert_eq!(PolicySpec::parse("tiered").unwrap(), PolicySpec::Tiered);
+        assert_eq!(
+            PolicySpec::parse("powercap:250").unwrap(),
+            PolicySpec::PowerCap { cap_w: 250.0 }
+        );
+        assert_eq!(PolicySpec::parse("powercap:250").unwrap().label(), "powercap:250");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PolicySpec::parse("powercap:banana").is_err());
+        assert!(PolicySpec::parse("powercap:-5").is_err());
+        assert!(PolicySpec::parse("powercap:0").is_err());
+        assert!(PolicySpec::parse("turbo").is_err());
+    }
+
+    #[test]
+    fn build_matches_spec() {
+        let cluster = ClusterSpec::supercloud();
+        assert!(PolicySpec::Off.build(&cluster).is_none());
+        assert_eq!(
+            PolicySpec::PowerCap { cap_w: 250.0 }.build(&cluster).unwrap().name(),
+            "powercap"
+        );
+        assert_eq!(PolicySpec::Coshare.build(&cluster).unwrap().name(), "coshare");
+        assert_eq!(PolicySpec::Tiered.build(&cluster).unwrap().name(), "tiered");
+    }
+}

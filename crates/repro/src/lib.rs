@@ -22,6 +22,7 @@ pub use sc_core as core;
 pub use sc_obs as obs;
 pub use sc_opportunity as opportunity;
 pub use sc_par as par;
+pub use sc_policy as policy;
 pub use sc_stats as stats;
 pub use sc_telemetry as telemetry;
 pub use sc_workload as workload;
@@ -35,6 +36,9 @@ pub mod prelude {
     pub use sc_core::{classify_record, gpu_views, user_stats, AnalysisReport, GoodputFig};
     pub use sc_obs::{JsonlSink, Obs, RingSink, StageLog, TraceLevel, TraceSink};
     pub use sc_opportunity::OpportunityReport;
+    pub use sc_policy::{
+        CosharePolicy, PolicyExperiment, PolicySpec, PowerCapPolicy, TieredPolicy,
+    };
     pub use sc_stats::{BoxStats, Ecdf, Lorenz};
     pub use sc_telemetry::{Dataset, ExitStatus, SubmissionInterface};
     pub use sc_workload::{LifecycleClass, Trace, WorkloadSpec};

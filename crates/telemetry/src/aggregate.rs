@@ -137,6 +137,24 @@ impl GpuAggregates {
         a
     }
 
+    /// These aggregates as a power-capped board would have reported
+    /// them: every power statistic clamped to `cap_w`, the DVFS
+    /// enforcement a cluster-level power-cap policy applies. The
+    /// utilization metrics are untouched — capping slows the clock, it
+    /// does not idle the SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_w` is not positive.
+    pub fn with_power_cap(&self, cap_w: f64) -> GpuAggregates {
+        assert!(cap_w > 0.0, "power cap must be positive");
+        let mut capped = *self;
+        capped.power_w.min = self.power_w.min.min(cap_w);
+        capped.power_w.mean = self.power_w.mean.min(cap_w);
+        capped.power_w.max = self.power_w.max.min(cap_w);
+        capped
+    }
+
     /// The aggregate for one resource.
     pub fn resource(&self, r: GpuResource) -> Aggregate {
         match r {

@@ -28,6 +28,7 @@
 pub mod aggregate;
 pub mod collector;
 pub mod dataset;
+pub mod gpu_power;
 pub mod metrics;
 pub mod phases;
 pub mod record;
@@ -37,6 +38,10 @@ pub mod source;
 pub use aggregate::{Aggregate, GpuAggregates};
 pub use collector::{JobMonitor, MonitorConfig, NodeLocalBuffer};
 pub use dataset::{Dataset, DatasetFunnel};
+pub use gpu_power::{
+    gpu_energy_kwh, DVFS_PERF_PER_POWER, FACILITY_BUDGET_W, SUPERCLOUD_GPUS, V100_IDLE_W,
+    V100_TDP_W,
+};
 pub use metrics::{CpuMetricSample, GpuMetricSample, GpuResource};
 pub use record::{
     ExitStatus, FailureCause, GpuJobRecord, JobId, JobRecord, SchedulerRecord, SubmissionInterface,

@@ -116,7 +116,7 @@ pub fn active_variability(series: &GpuTimeSeries) -> Result<Option<ActiveVariabi
 /// resources is 100%; sampling quantization makes ≥ 99.5 equivalent.
 pub fn is_bottlenecked(max_value: f64, resource: GpuResource) -> bool {
     match resource {
-        GpuResource::Power => max_value >= 299.0, // V100 TDP 300 W
+        GpuResource::Power => max_value >= crate::gpu_power::V100_TDP_W - 1.0,
         _ => max_value >= 99.5,
     }
 }

@@ -11,6 +11,7 @@
 //! Linearity matters: it makes the job's *mean* power an exact function
 //! of its mean utilizations, which the analytic aggregation path exploits.
 
+use sc_telemetry::gpu_power::{V100_IDLE_W, V100_TDP_W};
 use serde::{Deserialize, Serialize};
 
 /// Linear utilization→power model for one GPU.
@@ -38,11 +39,11 @@ impl PowerModel {
     /// The calibrated V100 model.
     pub fn v100() -> Self {
         PowerModel {
-            idle_w: 20.0,
+            idle_w: V100_IDLE_W,
             sm_w_per_pct: 1.3,
             mem_w_per_pct: 0.7,
             mem_size_w_per_pct: 0.3,
-            tdp_w: 300.0,
+            tdp_w: V100_TDP_W,
         }
     }
 

@@ -7,17 +7,63 @@ reduced --scale, so the baseline's total_secs is scaled by the job-count
 ratio before comparing; the gate fails when the smoke run is more than
 TOLERANCE times slower than that scaled expectation.
 
+With --placement, additionally parses the console log of
+`cargo bench --bench placement` (the offline criterion stand-in prints
+`  <id>  median <time> / iter ...` lines) and gates the co-sharing
+policy's placement overhead: the coshare median must stay within
+--placement-overhead times the baseline median.
+
 usage: check_bench.py BASELINE SMOKE [--tolerance 2.0]
+                      [--placement placement_bench.txt]
+                      [--placement-overhead 5.0]
 """
 
 import argparse
 import json
+import re
 import sys
 
 # CI runners are noisy and a 2%-scale run finishes in about a second, so
 # very small expected times are floored before applying the multiplier:
 # the gate is for order-of-magnitude regressions, not scheduler jitter.
 MIN_EXPECTED_SECS = 2.0
+
+
+# `  contended_pass_baseline   median 475.30 us / iter  (min ...)`
+MEDIAN_LINE = re.compile(r"^\s+(\S+)\s+median\s+([\d.]+)\s+(ns|us|ms|s)\s+/\s+iter")
+UNIT_SECS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def parse_medians(path):
+    """Benchmark id -> median seconds, from a criterion console log."""
+    medians = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                m = MEDIAN_LINE.match(line)
+                if m:
+                    medians[m.group(1)] = float(m.group(2)) * UNIT_SECS[m.group(3)]
+    except OSError as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+    return medians
+
+
+def check_placement(path, max_overhead):
+    medians = parse_medians(path)
+    for bench in ("contended_pass_baseline", "contended_pass_coshare"):
+        if bench not in medians:
+            sys.exit(f"check_bench: {path} has no '{bench}' median "
+                     f"(found: {sorted(medians)})")
+    base = medians["contended_pass_baseline"]
+    coshare = medians["contended_pass_coshare"]
+    overhead = coshare / base if base > 0 else float("inf")
+    print(f"placement: baseline {base * 1e6:.1f} us, coshare {coshare * 1e6:.1f} us "
+          f"({overhead:.2f}x, limit {max_overhead}x)")
+    if overhead > max_overhead:
+        sys.exit(
+            f"check_bench: FAIL — coshare placement pass is {overhead:.2f}x the "
+            f"baseline pass (limit {max_overhead}x)"
+        )
 
 
 def load(path):
@@ -38,7 +84,22 @@ def main():
         default=2.0,
         help="fail when smoke exceeds the scaled baseline by this factor",
     )
+    ap.add_argument(
+        "--placement",
+        metavar="LOG",
+        help="console log of `cargo bench --bench placement` to gate",
+    )
+    ap.add_argument(
+        "--placement-overhead",
+        type=float,
+        default=5.0,
+        help="fail when the coshare placement pass exceeds the baseline "
+        "pass by this factor (typical is ~1.5x)",
+    )
     args = ap.parse_args()
+
+    if args.placement:
+        check_placement(args.placement, args.placement_overhead)
 
     base = load(args.baseline)
     smoke = load(args.smoke)

@@ -176,6 +176,44 @@ fn trace_bytes_identical_across_thread_budgets() {
     assert_eq!(a, b, "JSONL trace bytes must not depend on the thread budget");
 }
 
+/// The policy engine under the same rule: for every built-in policy the
+/// A/B harness's dataset JSON and rendered delta figure must be
+/// byte-identical between a 1-thread and an N-thread run (the CI matrix
+/// sweeps N over 1, 4, 8 via `SC_PAR_THREADS`). Policies run on the
+/// single-threaded event loop; only telemetry synthesis and analysis
+/// fan out, and those merge in input order.
+#[test]
+fn policy_runs_are_deterministic_across_thread_budgets() {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, 9);
+    let run_all = || -> Vec<(String, String)> {
+        [PolicySpec::PowerCap { cap_w: 250.0 }, PolicySpec::Coshare, PolicySpec::Tiered]
+            .iter()
+            .map(|&s| {
+                let exp = PolicyExperiment::new(
+                    SimConfig { detailed_series_jobs: 0, ..Default::default() },
+                    s,
+                );
+                let r = exp.run(&trace);
+                (r.policy.dataset.to_json().expect("serializable"), r.fig.render())
+            })
+            .collect()
+    };
+
+    let saved = sc_repro::par::current_threads();
+    sc_repro::par::set_max_threads(1);
+    let a = run_all();
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let b = run_all();
+    sc_repro::par::set_max_threads(saved);
+
+    for ((json_a, fig_a), (json_b, fig_b)) in a.iter().zip(&b) {
+        assert_eq!(json_a, json_b, "policy-arm Dataset JSON must not depend on threads");
+        assert_eq!(fig_a, fig_b, "PolicyAbFig text must not depend on threads");
+    }
+}
+
 /// The failure subsystem under the same rule: the pre-computed failure
 /// schedule, every requeue decision (job fates), the goodput ledger,
 /// and the rendered figures must be byte-identical between a 1-thread
