@@ -1,0 +1,223 @@
+//! Data-quality report — what lossy collection does to the paper's
+//! headline statistics, and how much of it the ingest stage repairs.
+//!
+//! Not a paper figure: the HPCA 2022 dataset was collected by a real
+//! monitoring pipeline that silently dropped windows, truncated series
+//! and duplicated records (Sec. II describes the collection plumbing).
+//! This figure quantifies that threat on the synthetic twin: corrupt
+//! the clean dataset with a seeded [`sc_telemetry::corruption`]
+//! profile, push it through [`mod@crate::ingest`], and compare the
+//! recovered headline statistics against the clean ones.
+
+use crate::ingest::IngestReport;
+use crate::pipeline::DatasetReport;
+use sc_telemetry::corruption::{CorruptionCounters, FaultClass};
+
+use crate::figures::fig13::SizeBucket;
+use crate::ingest::SeriesStudy;
+use sc_workload::LifecycleClass;
+
+/// One headline statistic, clean vs recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRow {
+    /// The statistic (matches the figure it comes from).
+    pub metric: &'static str,
+    /// Value on the clean dataset.
+    pub clean: f64,
+    /// Value on the corrupted-then-repaired dataset.
+    pub recovered: f64,
+}
+
+impl DeltaRow {
+    /// Percent deviation of recovered from clean (0 for a ~zero clean
+    /// value).
+    pub fn delta_pct(&self) -> f64 {
+        if self.clean.abs() < 1e-12 {
+            0.0
+        } else {
+            (self.recovered - self.clean) / self.clean * 100.0
+        }
+    }
+}
+
+/// The full data-quality report: injection ledger, repair ledger, and
+/// per-figure recovered-vs-clean deltas.
+#[derive(Debug, Clone)]
+pub struct DataQualityFig {
+    /// The injection profile label (`supercloud`, `lossy`, `hostile`).
+    pub profile: String,
+    /// What the corruptor injected, per fault class.
+    pub injected: CorruptionCounters,
+    /// The ingest stage's detection/repair/quarantine ledger.
+    pub report: IngestReport,
+    /// Headline statistics, clean vs recovered, in figure order.
+    pub deltas: Vec<DeltaRow>,
+    /// The time-series micro-study (window drops and tail truncation
+    /// repaired inside the 100 ms series), when run.
+    pub series: Option<SeriesStudy>,
+}
+
+impl DataQualityFig {
+    /// Builds the report from the two pipeline runs and the ledgers.
+    pub fn compute(
+        profile: &str,
+        injected: CorruptionCounters,
+        report: IngestReport,
+        clean: &DatasetReport,
+        recovered: &DatasetReport,
+        series: Option<SeriesStudy>,
+    ) -> Self {
+        let row = |metric, c: f64, r: f64| DeltaRow { metric, clean: c, recovered: r };
+        let deltas = vec![
+            row(
+                "GPU run time p25 (min)",
+                clean.fig3.gpu_runtime_min.quantile(0.25),
+                recovered.fig3.gpu_runtime_min.quantile(0.25),
+            ),
+            row(
+                "GPU run time median (min)",
+                clean.fig3.gpu_runtime_min.median(),
+                recovered.fig3.gpu_runtime_min.median(),
+            ),
+            row(
+                "GPU run time p75 (min)",
+                clean.fig3.gpu_runtime_min.quantile(0.75),
+                recovered.fig3.gpu_runtime_min.quantile(0.75),
+            ),
+            row("SM util median (%)", clean.fig4.sm.median(), recovered.fig4.sm.median()),
+            row("mem util median (%)", clean.fig4.mem.median(), recovered.fig4.mem.median()),
+            row(
+                "job-avg power median (W)",
+                clean.fig9.avg_power.median(),
+                recovered.fig9.avg_power.median(),
+            ),
+            row(
+                "job-max power median (W)",
+                clean.fig9.max_power.median(),
+                recovered.fig9.max_power.median(),
+            ),
+            row(
+                "mature job share",
+                clean.fig15.share(LifecycleClass::Mature).job_share,
+                recovered.fig15.share(LifecycleClass::Mature).job_share,
+            ),
+            row(
+                "single-GPU job share",
+                clean.fig13.row(SizeBucket::One).job_share,
+                recovered.fig13.row(SizeBucket::One).job_share,
+            ),
+            row(
+                "top-5% users' job share",
+                clean.fig10.top5_job_share,
+                recovered.fig10.top5_job_share,
+            ),
+        ];
+        DataQualityFig { profile: profile.to_string(), injected, report, deltas, series }
+    }
+
+    /// Whether the ledger balances: every injected fault was detected,
+    /// and every detected fault was either repaired or quarantined.
+    pub fn balanced(&self) -> bool {
+        self.report.balances_against(&self.injected)
+    }
+
+    /// Largest absolute headline deviation, percent.
+    pub fn max_abs_delta_pct(&self) -> f64 {
+        self.deltas.iter().map(|d| d.delta_pct().abs()).fold(0.0, f64::max)
+    }
+
+    /// Renders the ledgers and the delta table as text.
+    pub fn render(&self) -> String {
+        let mut s =
+            format!("DataQuality — profile {} (corrupt -> ingest -> re-analyze):\n", self.profile);
+        s.push_str("  injected faults:\n");
+        for class in FaultClass::ALL {
+            if self.injected.get(class) > 0 {
+                s.push_str(&format!("    {:<18} {:>8}\n", class.label(), self.injected.get(class)));
+            }
+        }
+        for line in self.report.render().lines() {
+            s.push_str(&format!("  {line}\n"));
+        }
+        s.push_str(&format!("  ledger balanced: {}\n", if self.balanced() { "yes" } else { "NO" }));
+        s.push_str("  headline statistics, clean vs recovered:\n");
+        s.push_str("    metric                         clean  recovered    delta\n");
+        for d in &self.deltas {
+            s.push_str(&format!(
+                "    {:<28} {:>8.2}  {:>9.2}  {:>+6.1}%\n",
+                d.metric,
+                d.clean,
+                d.recovered,
+                d.delta_pct()
+            ));
+        }
+        if let Some(study) = &self.series {
+            s.push_str(&format!(
+                "  series micro-study: {} jobs, {} faults repaired ({} samples imputed, {} \
+                 appended), mean active fraction {:.3} -> {:.3} (max |delta| {:.3})\n",
+                study.jobs,
+                study.repaired.total(),
+                study.imputed_samples,
+                study.appended_samples,
+                study.mean_active_clean,
+                study.mean_active_recovered,
+                study.max_abs_active_delta
+            ));
+        }
+        s
+    }
+
+    /// The recovered-vs-clean delta bars as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let bars: Vec<(String, f64)> =
+            self.deltas.iter().map(|d| (d.metric.to_string(), d.delta_pct())).collect();
+        crate::svg::bar_chart(
+            &format!("Data quality: recovered vs clean ({} profile)", self.profile),
+            "recovered deviation from clean (%)",
+            &bars,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::corrupt_and_ingest;
+    use crate::testsupport::small_sim;
+    use sc_obs::Obs;
+    use sc_telemetry::corruption::DataQualityProfile;
+
+    fn lossy_fig() -> DataQualityFig {
+        let clean = &small_sim().dataset;
+        let (out, injected) = corrupt_and_ingest(clean, DataQualityProfile::Lossy, 42, &Obs::off())
+            .expect("lossy ingest succeeds");
+        let clean_report = DatasetReport::try_from_dataset(clean).expect("clean pipeline");
+        let recovered = DatasetReport::try_from_dataset(&out.dataset).expect("recovered pipeline");
+        DataQualityFig::compute("lossy", injected, out.report, &clean_report, &recovered, None)
+    }
+
+    #[test]
+    fn lossy_round_trip_balances_and_stays_close() {
+        let fig = lossy_fig();
+        assert!(fig.balanced(), "ledger must balance");
+        // The repair pipeline's whole point: headline statistics land
+        // near the clean values even under 10% window loss and 3%
+        // missing epilogs.
+        assert!(
+            fig.max_abs_delta_pct() < 15.0,
+            "max headline delta {:.1}%",
+            fig.max_abs_delta_pct()
+        );
+    }
+
+    #[test]
+    fn render_and_svg_carry_the_ledger() {
+        let fig = lossy_fig();
+        let text = fig.render();
+        assert!(text.contains("ledger balanced: yes"));
+        assert!(text.contains("clean vs recovered"));
+        let svg = fig.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("recovered deviation from clean"));
+    }
+}

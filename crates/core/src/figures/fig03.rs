@@ -2,7 +2,7 @@
 
 use crate::paper::fig3 as paper;
 use crate::report::{format_cdf_points, Comparison};
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 use sc_telemetry::dataset::Dataset;
 
 /// Fig. 3(a): ECDFs of run times (minutes); Fig. 3(b): ECDFs of queue
@@ -30,9 +30,25 @@ impl Fig3 {
     ///
     /// Panics if the dataset has no GPU or no CPU jobs.
     pub fn compute(dataset: &Dataset) -> Self {
+        match Self::try_compute(dataset) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig3: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error on a degenerate
+    /// dataset instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when the dataset has no GPU
+    /// or no CPU jobs, and propagates non-finite sample errors.
+    pub fn try_compute(dataset: &Dataset) -> Result<Self, StatsError> {
         let gpu: Vec<&_> = dataset.records().iter().filter(|r| r.sched.is_gpu_job()).collect();
         let cpu: Vec<&_> = dataset.cpu_jobs().collect();
-        assert!(!gpu.is_empty() && !cpu.is_empty(), "need both GPU and CPU jobs");
+        if gpu.is_empty() || cpu.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let runtimes = |v: &[&sc_telemetry::record::JobRecord]| {
             v.iter().map(|r| r.sched.run_time() / 60.0).collect::<Vec<_>>()
         };
@@ -42,14 +58,14 @@ impl Fig3 {
         let wait_secs = |v: &[&sc_telemetry::record::JobRecord]| {
             v.iter().map(|r| r.sched.queue_wait()).collect::<Vec<_>>()
         };
-        Fig3 {
-            gpu_runtime_min: Ecdf::new(runtimes(&gpu)).expect("non-empty"),
-            cpu_runtime_min: Ecdf::new(runtimes(&cpu)).expect("non-empty"),
-            gpu_wait_pct: Ecdf::new(wait_pct(&gpu)).expect("non-empty"),
-            cpu_wait_pct: Ecdf::new(wait_pct(&cpu)).expect("non-empty"),
-            gpu_wait_secs: Ecdf::new(wait_secs(&gpu)).expect("non-empty"),
-            cpu_wait_secs: Ecdf::new(wait_secs(&cpu)).expect("non-empty"),
-        }
+        Ok(Fig3 {
+            gpu_runtime_min: Ecdf::new(runtimes(&gpu))?,
+            cpu_runtime_min: Ecdf::new(runtimes(&cpu))?,
+            gpu_wait_pct: Ecdf::new(wait_pct(&gpu))?,
+            cpu_wait_pct: Ecdf::new(wait_pct(&cpu))?,
+            gpu_wait_secs: Ecdf::new(wait_secs(&gpu))?,
+            cpu_wait_secs: Ecdf::new(wait_secs(&cpu))?,
+        })
     }
 
     /// Paper-vs-measured rows.

@@ -4,7 +4,7 @@
 use crate::paper::fig4 as paper;
 use crate::report::{format_cdf_points, Comparison};
 use crate::view::GpuJobView;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 
 /// Fig. 4(a): job-mean utilization ECDFs; Fig. 4(b): PCIe bandwidth
 /// utilization ECDFs.
@@ -29,17 +29,27 @@ impl Fig4 {
     ///
     /// Panics if `views` is empty.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
-        assert!(!views.is_empty(), "need GPU jobs");
-        let pick = |f: fn(&GpuJobView) -> f64| {
-            Ecdf::new(views.iter().map(f).collect()).expect("non-empty")
-        };
-        Fig4 {
-            sm: pick(|v| v.agg.sm_util.mean),
-            mem: pick(|v| v.agg.mem_util.mean),
-            mem_size: pick(|v| v.agg.mem_size_util.mean),
-            pcie_tx: pick(|v| v.agg.pcie_tx.mean),
-            pcie_rx: pick(|v| v.agg.pcie_rx.mean),
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig4: {e}"),
         }
+    }
+
+    /// Computes the figure, returning a typed error when `views` is
+    /// empty (or holds non-finite aggregates) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty view set.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
+        let pick = |f: fn(&GpuJobView) -> f64| Ecdf::new(views.iter().map(f).collect::<Vec<_>>());
+        Ok(Fig4 {
+            sm: pick(|v| v.agg.sm_util.mean)?,
+            mem: pick(|v| v.agg.mem_util.mean)?,
+            mem_size: pick(|v| v.agg.mem_size_util.mean)?,
+            pcie_tx: pick(|v| v.agg.pcie_tx.mean)?,
+            pcie_rx: pick(|v| v.agg.pcie_rx.mean)?,
+        })
     }
 
     /// Paper-vs-measured rows.

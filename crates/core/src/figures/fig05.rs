@@ -4,7 +4,7 @@
 use crate::paper::interfaces as paper;
 use crate::report::Comparison;
 use crate::view::GpuJobView;
-use sc_stats::BoxStats;
+use sc_stats::{BoxStats, StatsError};
 use sc_telemetry::record::SubmissionInterface;
 
 /// Per-interface utilization box plots plus the interface job mix.
@@ -35,29 +35,41 @@ impl Fig5 {
     /// Panics if any interface has no jobs at all (the calibrated trace
     /// always populates all four).
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig5: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error when an interface
+    /// has no jobs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when any interface has no
+    /// jobs at all.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
         let total = views.len().max(1) as f64;
-        let rows = SubmissionInterface::ALL
-            .iter()
-            .map(|&interface| {
-                let sm: Vec<f64> = views
-                    .iter()
-                    .filter(|v| v.sched.interface == interface)
-                    .map(|v| v.agg.sm_util.mean)
-                    .collect();
-                let mem: Vec<f64> = views
-                    .iter()
-                    .filter(|v| v.sched.interface == interface)
-                    .map(|v| v.agg.mem_util.mean)
-                    .collect();
-                InterfaceRow {
-                    interface,
-                    job_share: sm.len() as f64 / total,
-                    sm: BoxStats::from_sample(&sm).expect("interface has jobs"),
-                    mem: BoxStats::from_sample(&mem).expect("interface has jobs"),
-                }
-            })
-            .collect();
-        Fig5 { rows }
+        let mut rows = Vec::with_capacity(SubmissionInterface::ALL.len());
+        for &interface in SubmissionInterface::ALL.iter() {
+            let sm: Vec<f64> = views
+                .iter()
+                .filter(|v| v.sched.interface == interface)
+                .map(|v| v.agg.sm_util.mean)
+                .collect();
+            let mem: Vec<f64> = views
+                .iter()
+                .filter(|v| v.sched.interface == interface)
+                .map(|v| v.agg.mem_util.mean)
+                .collect();
+            rows.push(InterfaceRow {
+                interface,
+                job_share: sm.len() as f64 / total,
+                sm: BoxStats::from_sample(&sm)?,
+                mem: BoxStats::from_sample(&mem)?,
+            });
+        }
+        Ok(Fig5 { rows })
     }
 
     /// The row for one interface.

@@ -4,7 +4,7 @@
 use crate::paper::fig6 as paper;
 use crate::report::{format_cdf_points, Comparison};
 use sc_cluster::DetailedJobStats;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 
 /// Fig. 6(a): ECDF of time spent active (% of run time); Fig. 6(b):
 /// ECDFs of the CoV of idle and active interval lengths.
@@ -26,18 +26,31 @@ impl Fig6 {
     ///
     /// Panics if the subset is empty or no job alternates phases.
     pub fn compute(detailed: &[DetailedJobStats]) -> Self {
-        assert!(!detailed.is_empty(), "need the detailed time-series subset");
+        match Self::try_compute(detailed) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig6: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error on a degenerate
+    /// subset instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when the subset is empty or no
+    /// job alternates phases.
+    pub fn try_compute(detailed: &[DetailedJobStats]) -> Result<Self, StatsError> {
         let active_pct: Vec<f64> =
             detailed.iter().map(|d| d.phases.active_fraction * 100.0).collect();
         let idle_cov: Vec<f64> =
             detailed.iter().filter_map(|d| d.phases.idle_interval_cov).collect();
         let active_cov: Vec<f64> =
             detailed.iter().filter_map(|d| d.phases.active_interval_cov).collect();
-        Fig6 {
-            active_pct: Ecdf::new(active_pct).expect("non-empty"),
-            idle_cov: Ecdf::new(idle_cov).expect("some jobs alternate idle phases"),
-            active_cov: Ecdf::new(active_cov).expect("some jobs alternate active phases"),
-        }
+        Ok(Fig6 {
+            active_pct: Ecdf::new(active_pct)?,
+            idle_cov: Ecdf::new(idle_cov)?,
+            active_cov: Ecdf::new(active_cov)?,
+        })
     }
 
     /// Paper-vs-measured rows.

@@ -5,7 +5,7 @@ use crate::paper::fig7 as paper;
 use crate::report::{format_cdf_points, Comparison};
 use crate::view::GpuJobView;
 use sc_cluster::DetailedJobStats;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 use sc_telemetry::metrics::GpuResource;
 use sc_telemetry::phases::is_bottlenecked;
 
@@ -31,10 +31,28 @@ impl Fig7 {
     ///
     /// Panics if either input is empty.
     pub fn compute(detailed: &[DetailedJobStats], views: &[GpuJobView<'_>]) -> Self {
-        assert!(!detailed.is_empty() && !views.is_empty(), "need detailed jobs and views");
+        match Self::try_compute(detailed, views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig7: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error on degenerate
+    /// inputs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when either input is empty or
+    /// no detailed job has active samples.
+    pub fn try_compute(
+        detailed: &[DetailedJobStats],
+        views: &[GpuJobView<'_>],
+    ) -> Result<Self, StatsError> {
+        if views.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let pick = |f: fn(&sc_telemetry::phases::ActiveVariability) -> f64| {
             Ecdf::new(detailed.iter().filter_map(|d| d.variability.as_ref().map(f)).collect())
-                .expect("jobs with active samples exist")
         };
         let n = views.len() as f64;
         let bottlenecks = GpuResource::UTILIZATION
@@ -45,12 +63,12 @@ impl Fig7 {
                 (r, hit as f64 / n)
             })
             .collect();
-        Fig7 {
-            sm_cov: pick(|v| v.sm_cov),
-            mem_cov: pick(|v| v.mem_cov),
-            mem_size_cov: pick(|v| v.mem_size_cov),
+        Ok(Fig7 {
+            sm_cov: pick(|v| v.sm_cov)?,
+            mem_cov: pick(|v| v.mem_cov)?,
+            mem_size_cov: pick(|v| v.mem_size_cov)?,
             bottlenecks,
-        }
+        })
     }
 
     /// Bottleneck fraction for one resource.

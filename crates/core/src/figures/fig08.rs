@@ -3,6 +3,7 @@
 use crate::paper::fig8 as paper;
 use crate::report::Comparison;
 use crate::view::GpuJobView;
+use sc_stats::StatsError;
 use sc_telemetry::metrics::GpuResource;
 use sc_telemetry::phases::is_bottlenecked;
 
@@ -24,7 +25,22 @@ impl Fig8 {
     ///
     /// Panics if `views` is empty.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
-        assert!(!views.is_empty(), "need GPU jobs");
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig8: {e}"),
+        }
+    }
+
+    /// Computes both panels, returning a typed error for an empty view
+    /// set instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `views` is empty.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
+        if views.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let n = views.len() as f64;
         let hit = |v: &GpuJobView, r: GpuResource| is_bottlenecked(v.agg.resource(r).max, r);
         let singles = GpuResource::UTILIZATION
@@ -39,7 +55,7 @@ impl Fig8 {
                 pairs.push((rs[i], rs[j], f));
             }
         }
-        Fig8 { singles, pairs }
+        Ok(Fig8 { singles, pairs })
     }
 
     /// The fraction for one pair, order-insensitive.

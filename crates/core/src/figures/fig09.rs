@@ -3,7 +3,7 @@
 use crate::paper::fig9 as paper;
 use crate::report::{format_cdf_points, Comparison};
 use crate::view::GpuJobView;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 
 /// Impact of one cap level (Fig. 9b bars).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,11 +39,24 @@ impl Fig9 {
     ///
     /// Panics if `views` is empty.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
-        assert!(!views.is_empty(), "need GPU jobs");
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig9: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error for an empty view
+    /// set instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `views` is empty and
+    /// propagates non-finite sample errors.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
         let avg: Vec<f64> = views.iter().map(|v| v.agg.power_w.mean).collect();
         let max: Vec<f64> = views.iter().map(|v| v.agg.power_w.max).collect();
-        let avg_power = Ecdf::new(avg).expect("non-empty");
-        let max_power = Ecdf::new(max).expect("non-empty");
+        let avg_power = Ecdf::new(avg)?;
+        let max_power = Ecdf::new(max)?;
         let caps = paper::CAP_LEVELS_W
             .iter()
             .map(|&cap_w| CapImpact {
@@ -53,7 +66,7 @@ impl Fig9 {
                 impacted_by_avg: avg_power.fraction_above(cap_w),
             })
             .collect();
-        Fig9 { avg_power, max_power, caps }
+        Ok(Fig9 { avg_power, max_power, caps })
     }
 
     /// Paper-vs-measured rows.

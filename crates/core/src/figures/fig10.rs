@@ -4,7 +4,7 @@
 use crate::paper::{concentration, fig10 as paper};
 use crate::report::{format_cdf_points, Comparison};
 use crate::userstats::UserStats;
-use sc_stats::{Ecdf, Lorenz};
+use sc_stats::{Ecdf, Lorenz, StatsError};
 
 /// Fig. 10 panels plus the Pareto concentration numbers of Sec. IV.
 #[derive(Debug, Clone)]
@@ -32,19 +32,32 @@ impl Fig10 {
     ///
     /// Panics if `stats` is empty.
     pub fn compute(stats: &[UserStats]) -> Self {
-        assert!(!stats.is_empty(), "need user statistics");
+        match Self::try_compute(stats) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig10: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error on degenerate user
+    /// statistics instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `stats` is empty and
+    /// propagates Lorenz-curve domain errors.
+    pub fn try_compute(stats: &[UserStats]) -> Result<Self, StatsError> {
         let jobs: Vec<f64> = stats.iter().map(|s| s.jobs as f64).collect();
-        let lorenz = Lorenz::new(jobs.clone()).expect("positive job counts");
-        let jobs_cdf = Ecdf::new(jobs).expect("non-empty");
-        Fig10 {
-            avg_runtime_min: stats.iter().map(|s| s.avg_runtime_min).collect(),
-            avg_sm: stats.iter().map(|s| s.avg_sm).collect(),
-            avg_mem: stats.iter().map(|s| s.avg_mem).collect(),
-            avg_mem_size: stats.iter().map(|s| s.avg_mem_size).collect(),
+        let lorenz = Lorenz::new(jobs.clone())?;
+        let jobs_cdf = Ecdf::new(jobs)?;
+        Ok(Fig10 {
+            avg_runtime_min: Ecdf::new(stats.iter().map(|s| s.avg_runtime_min).collect())?,
+            avg_sm: Ecdf::new(stats.iter().map(|s| s.avg_sm).collect())?,
+            avg_mem: Ecdf::new(stats.iter().map(|s| s.avg_mem).collect())?,
+            avg_mem_size: Ecdf::new(stats.iter().map(|s| s.avg_mem_size).collect())?,
             median_jobs_per_user: jobs_cdf.median(),
             top5_job_share: lorenz.top_share(0.05),
             top20_job_share: lorenz.top_share(0.20),
-        }
+        })
     }
 
     /// Paper-vs-measured rows.

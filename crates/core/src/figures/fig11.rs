@@ -4,7 +4,7 @@
 use crate::paper::fig11 as paper;
 use crate::report::{format_cdf_points, Comparison};
 use crate::userstats::UserStats;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 
 /// Per-user CoV ECDFs (users with at least two jobs).
 #[derive(Debug, Clone)]
@@ -26,15 +26,28 @@ impl Fig11 {
     ///
     /// Panics if no user has two or more jobs.
     pub fn compute(stats: &[UserStats]) -> Self {
-        let pick = |f: fn(&UserStats) -> Option<f64>| {
-            Ecdf::new(stats.iter().filter_map(f).collect()).expect("multi-job users exist")
-        };
-        Fig11 {
-            cov_runtime: pick(|s| s.cov_runtime),
-            cov_sm: pick(|s| s.cov_sm),
-            cov_mem: pick(|s| s.cov_mem),
-            cov_mem_size: pick(|s| s.cov_mem_size),
+        match Self::try_compute(stats) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig11: {e}"),
         }
+    }
+
+    /// Computes the figure, returning a typed error when no user has
+    /// two or more jobs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when no multi-job users
+    /// exist.
+    pub fn try_compute(stats: &[UserStats]) -> Result<Self, StatsError> {
+        let pick =
+            |f: fn(&UserStats) -> Option<f64>| Ecdf::new(stats.iter().filter_map(f).collect());
+        Ok(Fig11 {
+            cov_runtime: pick(|s| s.cov_runtime)?,
+            cov_sm: pick(|s| s.cov_sm)?,
+            cov_mem: pick(|s| s.cov_mem)?,
+            cov_mem_size: pick(|s| s.cov_mem_size)?,
+        })
     }
 
     /// Paper-vs-measured rows.

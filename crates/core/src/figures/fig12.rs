@@ -3,7 +3,7 @@
 
 use crate::report::Comparison;
 use crate::userstats::UserStats;
-use sc_stats::{spearman, SpearmanResult};
+use sc_stats::{spearman, SpearmanResult, StatsError};
 
 /// The behavioural metrics correlated against activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,8 +72,21 @@ impl Fig12 {
     ///
     /// Panics if fewer than three multi-job users exist.
     pub fn compute(stats: &[UserStats]) -> Self {
+        match Self::try_compute(stats) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig12: {e}"),
+        }
+    }
+
+    /// Computes the correlations, returning a typed error when too few
+    /// multi-job users exist instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] (via [`spearman`]) when
+    /// fewer than three multi-job users exist.
+    pub fn try_compute(stats: &[UserStats]) -> Result<Self, StatsError> {
         let multi: Vec<&UserStats> = stats.iter().filter(|s| s.jobs >= 2).collect();
-        assert!(multi.len() >= 3, "need at least 3 multi-job users");
         let jobs: Vec<f64> = multi.iter().map(|s| s.jobs as f64).collect();
         let hours: Vec<f64> = multi.iter().map(|s| s.gpu_hours).collect();
         let value = |s: &UserStats, m: BehaviorMetric| -> f64 {
@@ -86,18 +99,16 @@ impl Fig12 {
                 BehaviorMetric::CovMem => s.cov_mem.unwrap_or(0.0),
             }
         };
-        let cells = BehaviorMetric::ALL
-            .iter()
-            .map(|&metric| {
-                let ys: Vec<f64> = multi.iter().map(|s| value(s, metric)).collect();
-                CorrelationCell {
-                    metric,
-                    vs_jobs: spearman(&jobs, &ys).expect("enough users"),
-                    vs_gpu_hours: spearman(&hours, &ys).expect("enough users"),
-                }
-            })
-            .collect();
-        Fig12 { cells }
+        let mut cells = Vec::with_capacity(BehaviorMetric::ALL.len());
+        for &metric in BehaviorMetric::ALL.iter() {
+            let ys: Vec<f64> = multi.iter().map(|s| value(s, metric)).collect();
+            cells.push(CorrelationCell {
+                metric,
+                vs_jobs: spearman(&jobs, &ys)?,
+                vs_gpu_hours: spearman(&hours, &ys)?,
+            });
+        }
+        Ok(Fig12 { cells })
     }
 
     /// The cell for one metric.

@@ -5,7 +5,7 @@ use crate::paper::fig13 as paper;
 use crate::report::Comparison;
 use crate::userstats::UserStats;
 use crate::view::GpuJobView;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 
 /// Job-size buckets in the paper's presentation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,42 +81,52 @@ impl Fig13 {
     ///
     /// Panics if `views` or `stats` is empty.
     pub fn compute(views: &[GpuJobView<'_>], stats: &[UserStats]) -> Self {
-        assert!(!views.is_empty() && !stats.is_empty(), "need jobs and user stats");
+        match Self::try_compute(views, stats) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig13: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error on degenerate
+    /// inputs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `views` or `stats` is
+    /// empty.
+    pub fn try_compute(views: &[GpuJobView<'_>], stats: &[UserStats]) -> Result<Self, StatsError> {
+        if views.is_empty() || stats.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let total_jobs = views.len() as f64;
         let total_hours: f64 = views.iter().map(|v| v.gpu_hours()).sum();
-        let rows = SizeBucket::ALL
-            .iter()
-            .map(|&bucket| {
-                let in_bucket: Vec<&GpuJobView> = views
-                    .iter()
-                    .filter(|v| SizeBucket::of(v.sched.gpus_requested) == bucket)
-                    .collect();
-                let hours: f64 = in_bucket.iter().map(|v| v.gpu_hours()).sum();
-                let median_wait = if in_bucket.is_empty() {
-                    0.0
-                } else {
-                    Ecdf::new(in_bucket.iter().map(|v| v.sched.queue_wait()).collect())
-                        .expect("non-empty")
-                        .median()
-                };
-                SizeRow {
-                    bucket,
-                    job_share: in_bucket.len() as f64 / total_jobs,
-                    hours_share: if total_hours > 0.0 { hours / total_hours } else { 0.0 },
-                    median_wait_secs: median_wait,
-                }
-            })
-            .collect();
+        let mut rows = Vec::with_capacity(SizeBucket::ALL.len());
+        for &bucket in SizeBucket::ALL.iter() {
+            let in_bucket: Vec<&GpuJobView> =
+                views.iter().filter(|v| SizeBucket::of(v.sched.gpus_requested) == bucket).collect();
+            let hours: f64 = in_bucket.iter().map(|v| v.gpu_hours()).sum();
+            let median_wait = if in_bucket.is_empty() {
+                0.0
+            } else {
+                Ecdf::new(in_bucket.iter().map(|v| v.sched.queue_wait()).collect())?.median()
+            };
+            rows.push(SizeRow {
+                bucket,
+                job_share: in_bucket.len() as f64 / total_jobs,
+                hours_share: if total_hours > 0.0 { hours / total_hours } else { 0.0 },
+                median_wait_secs: median_wait,
+            });
+        }
         let multi_hours: f64 =
             views.iter().filter(|v| v.sched.gpus_requested > 1).map(|v| v.gpu_hours()).sum();
         let users = stats.len() as f64;
-        Fig13 {
+        Ok(Fig13 {
             rows,
             multi_gpu_hours_share: if total_hours > 0.0 { multi_hours / total_hours } else { 0.0 },
             users_with_multi_gpu: stats.iter().filter(|s| s.max_gpus > 1).count() as f64 / users,
             users_with_3_gpus: stats.iter().filter(|s| s.max_gpus >= 3).count() as f64 / users,
             users_with_9_gpus: stats.iter().filter(|s| s.max_gpus >= 9).count() as f64 / users,
-        }
+        })
     }
 
     /// The row for one bucket.

@@ -4,7 +4,7 @@
 use crate::paper::fig14 as paper;
 use crate::report::{format_cdf_points, Comparison};
 use crate::view::GpuJobView;
-use sc_stats::{coefficient_of_variation, Ecdf};
+use sc_stats::{coefficient_of_variation, Ecdf, StatsError};
 
 /// SM threshold (%) below which a GPU counts as idle for panel (b).
 const IDLE_GPU_SM_THRESHOLD: f64 = 0.5;
@@ -36,8 +36,25 @@ impl Fig14 {
     ///
     /// Panics if there are no multi-GPU jobs.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig14: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error when no multi-GPU
+    /// jobs (or no jobs with ≥2 active GPUs) exist instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when either panel has no
+    /// sample.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
         let multi: Vec<&GpuJobView> = views.iter().filter(|v| v.per_gpu.len() > 1).collect();
-        assert!(!multi.is_empty(), "need multi-GPU jobs");
+        if multi.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let mut sm_all = Vec::new();
         let mut mem_all = Vec::new();
         let mut msz_all = Vec::new();
@@ -82,15 +99,15 @@ impl Fig14 {
                 }
             }
         }
-        Fig14 {
-            sm_cov_all: Ecdf::new(sm_all).expect("multi-GPU jobs exist"),
-            mem_cov_all: Ecdf::new(mem_all).expect("multi-GPU jobs exist"),
-            mem_size_cov_all: Ecdf::new(msz_all).expect("multi-GPU jobs exist"),
-            sm_cov_active: Ecdf::new(sm_act).expect("jobs with ≥2 active GPUs exist"),
-            mem_cov_active: Ecdf::new(mem_act).expect("jobs with ≥2 active GPUs exist"),
-            mem_size_cov_active: Ecdf::new(msz_act).expect("jobs with ≥2 active GPUs exist"),
+        Ok(Fig14 {
+            sm_cov_all: Ecdf::new(sm_all)?,
+            mem_cov_all: Ecdf::new(mem_all)?,
+            mem_size_cov_all: Ecdf::new(msz_all)?,
+            sm_cov_active: Ecdf::new(sm_act)?,
+            mem_cov_active: Ecdf::new(mem_act)?,
+            mem_size_cov_active: Ecdf::new(msz_act)?,
             half_idle_fraction: half_idle as f64 / multi.len() as f64,
-        }
+        })
     }
 
     /// Paper-vs-measured rows.

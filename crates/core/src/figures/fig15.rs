@@ -3,7 +3,7 @@
 use crate::paper::fig15 as paper;
 use crate::report::Comparison;
 use crate::view::GpuJobView;
-use sc_stats::Ecdf;
+use sc_stats::{Ecdf, StatsError};
 use sc_workload::LifecycleClass;
 
 /// One class's share of jobs and GPU hours, with median run time.
@@ -33,27 +33,37 @@ impl Fig15 {
     ///
     /// Panics if `views` is empty or some class is entirely absent.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
-        assert!(!views.is_empty(), "need GPU jobs");
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig15: {e}"),
+        }
+    }
+
+    /// Computes the mix, returning a typed error when `views` is empty
+    /// or a class is entirely absent instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] in both degenerate cases.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
+        if views.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let total_jobs = views.len() as f64;
         let total_hours: f64 = views.iter().map(|v| v.gpu_hours()).sum();
-        let shares = LifecycleClass::ALL
-            .iter()
-            .map(|&class| {
-                let in_class: Vec<&GpuJobView> =
-                    views.iter().filter(|v| v.class == class).collect();
-                let hours: f64 = in_class.iter().map(|v| v.gpu_hours()).sum();
-                let runtimes: Vec<f64> = in_class.iter().map(|v| v.run_minutes()).collect();
-                ClassShare {
-                    class,
-                    job_share: in_class.len() as f64 / total_jobs,
-                    hours_share: if total_hours > 0.0 { hours / total_hours } else { 0.0 },
-                    median_runtime_min: Ecdf::new(runtimes)
-                        .expect("every class is populated")
-                        .median(),
-                }
-            })
-            .collect();
-        Fig15 { shares }
+        let mut shares = Vec::with_capacity(LifecycleClass::ALL.len());
+        for &class in LifecycleClass::ALL.iter() {
+            let in_class: Vec<&GpuJobView> = views.iter().filter(|v| v.class == class).collect();
+            let hours: f64 = in_class.iter().map(|v| v.gpu_hours()).sum();
+            let runtimes: Vec<f64> = in_class.iter().map(|v| v.run_minutes()).collect();
+            shares.push(ClassShare {
+                class,
+                job_share: in_class.len() as f64 / total_jobs,
+                hours_share: if total_hours > 0.0 { hours / total_hours } else { 0.0 },
+                median_runtime_min: Ecdf::new(runtimes)?.median(),
+            });
+        }
+        Ok(Fig15 { shares })
     }
 
     /// The row for one class.

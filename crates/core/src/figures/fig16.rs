@@ -3,7 +3,7 @@
 use crate::paper::fig16 as paper;
 use crate::report::Comparison;
 use crate::view::GpuJobView;
-use sc_stats::BoxStats;
+use sc_stats::{BoxStats, StatsError};
 use sc_workload::LifecycleClass;
 
 /// One class's utilization boxes.
@@ -33,30 +33,39 @@ impl Fig16 {
     ///
     /// Panics if any class has no jobs.
     pub fn compute(views: &[GpuJobView<'_>]) -> Self {
-        let rows = LifecycleClass::ALL
-            .iter()
-            .map(|&class| {
-                let sm: Vec<f64> =
-                    views.iter().filter(|v| v.class == class).map(|v| v.agg.sm_util.mean).collect();
-                let mem: Vec<f64> = views
-                    .iter()
-                    .filter(|v| v.class == class)
-                    .map(|v| v.agg.mem_util.mean)
-                    .collect();
-                let msz: Vec<f64> = views
-                    .iter()
-                    .filter(|v| v.class == class)
-                    .map(|v| v.agg.mem_size_util.mean)
-                    .collect();
-                ClassBoxes {
-                    class,
-                    sm: BoxStats::from_sample(&sm).expect("class has jobs"),
-                    mem: BoxStats::from_sample(&mem).expect("class has jobs"),
-                    mem_size: BoxStats::from_sample(&msz).expect("class has jobs"),
-                }
-            })
-            .collect();
-        Fig16 { rows }
+        match Self::try_compute(views) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig16: {e}"),
+        }
+    }
+
+    /// Computes the boxes, returning a typed error when a class has no
+    /// jobs instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when any class is
+    /// unpopulated.
+    pub fn try_compute(views: &[GpuJobView<'_>]) -> Result<Self, StatsError> {
+        let mut rows = Vec::with_capacity(LifecycleClass::ALL.len());
+        for &class in LifecycleClass::ALL.iter() {
+            let sm: Vec<f64> =
+                views.iter().filter(|v| v.class == class).map(|v| v.agg.sm_util.mean).collect();
+            let mem: Vec<f64> =
+                views.iter().filter(|v| v.class == class).map(|v| v.agg.mem_util.mean).collect();
+            let msz: Vec<f64> = views
+                .iter()
+                .filter(|v| v.class == class)
+                .map(|v| v.agg.mem_size_util.mean)
+                .collect();
+            rows.push(ClassBoxes {
+                class,
+                sm: BoxStats::from_sample(&sm)?,
+                mem: BoxStats::from_sample(&mem)?,
+                mem_size: BoxStats::from_sample(&msz)?,
+            });
+        }
+        Ok(Fig16 { rows })
     }
 
     /// The row for one class.

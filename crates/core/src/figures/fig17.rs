@@ -4,6 +4,7 @@
 use crate::paper::fig17 as paper;
 use crate::report::Comparison;
 use crate::userstats::UserStats;
+use sc_stats::StatsError;
 
 /// Per-user stacked mixes, sorted for the paper's presentation.
 #[derive(Debug, Clone)]
@@ -28,20 +29,35 @@ impl Fig17 {
     ///
     /// Panics if `stats` is empty.
     pub fn compute(stats: &[UserStats]) -> Self {
-        assert!(!stats.is_empty(), "need user statistics");
+        match Self::try_compute(stats) {
+            Ok(fig) => fig,
+            Err(e) => panic!("fig17: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error when `stats` is
+    /// empty instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `stats` is empty.
+    pub fn try_compute(stats: &[UserStats]) -> Result<Self, StatsError> {
+        if stats.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let mut job_mixes: Vec<[f64; 4]> = stats.iter().map(|s| s.class_job_mix).collect();
         let mut hour_mixes: Vec<[f64; 4]> = stats.iter().map(|s| s.class_hours_mix).collect();
-        job_mixes.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
-        hour_mixes.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite"));
+        job_mixes.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        hour_mixes.sort_by(|a, b| a[0].total_cmp(&b[0]));
         let n = stats.len() as f64;
         let below_40 = job_mixes.iter().filter(|m| m[0] < 0.40).count() as f64 / n;
         let nonmature_60 = hour_mixes.iter().filter(|m| (1.0 - m[0]) > 0.60).count() as f64 / n;
-        Fig17 {
+        Ok(Fig17 {
             job_mixes,
             hour_mixes,
             users_mature_below_40: below_40,
             users_nonmature_hours_above_60: nonmature_60,
-        }
+        })
     }
 
     /// Paper-vs-measured rows.

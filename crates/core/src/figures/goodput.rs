@@ -10,6 +10,7 @@
 use crate::paper::operations as paper;
 use crate::report::Comparison;
 use sc_cluster::SimOutput;
+use sc_stats::StatsError;
 use sc_telemetry::record::{ExitStatus, FailureCause};
 
 /// One taxonomy class's toll.
@@ -57,7 +58,23 @@ impl GoodputFig {
     ///
     /// Panics if the output has no job fates (an empty trace).
     pub fn compute(out: &SimOutput) -> Self {
-        assert!(!out.fates.is_empty(), "need jobs");
+        match Self::try_compute(out) {
+            Ok(fig) => fig,
+            Err(e) => panic!("goodput: {e}"),
+        }
+    }
+
+    /// Computes the breakdown, returning a typed error for an empty
+    /// trace instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when the output has no job
+    /// fates.
+    pub fn try_compute(out: &SimOutput) -> Result<Self, StatsError> {
+        if out.fates.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let g = &out.goodput;
         let by_cause = FailureCause::ALL
             .iter()
@@ -75,7 +92,7 @@ impl GoodputFig {
             .iter()
             .filter(|f| f.attempts > 1 && f.exit != ExitStatus::NodeFailure)
             .count();
-        GoodputFig {
+        Ok(GoodputFig {
             allocated_gpu_hours: g.allocated_gpu_secs / 3600.0,
             useful_gpu_hours: g.useful_gpu_secs / 3600.0,
             lost_gpu_hours: g.lost_gpu_secs / 3600.0,
@@ -86,7 +103,7 @@ impl GoodputFig {
             hardware_death_fraction: hardware_deaths as f64 / out.fates.len() as f64,
             jobs_retried,
             jobs_recovered,
-        }
+        })
     }
 
     /// Fraction of allocated GPU time destroyed by failures.

@@ -5,6 +5,7 @@
 //! the same rows/series the paper plots, and a `comparisons` method
 //! returning paper-vs-measured rows for `EXPERIMENTS.md`.
 
+pub mod data_quality;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;
@@ -24,6 +25,7 @@ pub mod goodput;
 pub mod policy_ab;
 pub mod timeline;
 
+pub use data_quality::{DataQualityFig, DeltaRow};
 pub use fig03::Fig3;
 pub use fig04::Fig4;
 pub use fig05::Fig5;

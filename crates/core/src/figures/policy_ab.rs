@@ -10,6 +10,7 @@
 //! throughput.
 
 use sc_cluster::SimOutput;
+use sc_stats::StatsError;
 use sc_telemetry::gpu_power::gpu_energy_kwh;
 use sc_telemetry::record::ExitStatus;
 
@@ -55,10 +56,26 @@ impl PolicyArm {
     ///
     /// Panics if the output has no records (an empty trace).
     pub fn compute(label: &str, out: &SimOutput) -> Self {
+        match Self::try_compute(label, out) {
+            Ok(arm) => arm,
+            Err(e) => panic!("policy arm: {e}"),
+        }
+    }
+
+    /// Computes one arm's scalars, returning a typed error for an
+    /// empty trace instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when the output has no
+    /// records.
+    pub fn try_compute(label: &str, out: &SimOutput) -> Result<Self, StatsError> {
         let records = out.dataset.records();
-        assert!(!records.is_empty(), "need jobs");
+        if records.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let mut waits: Vec<f64> = records.iter().map(|r| r.sched.queue_wait()).collect();
-        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+        waits.sort_by(|a, b| a.total_cmp(b));
         let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
         let p95 = waits[((waits.len() - 1) as f64 * 0.95) as usize];
         let energy_kwh = records
@@ -68,7 +85,7 @@ impl PolicyArm {
         let completed = records.iter().filter(|r| r.sched.exit == ExitStatus::Completed).count();
         let timeouts = records.iter().filter(|r| r.sched.exit == ExitStatus::Timeout).count();
         let days = (out.stats.makespan_secs / 86_400.0).max(1e-9);
-        PolicyArm {
+        Ok(PolicyArm {
             label: label.to_string(),
             mean_queue_wait_secs: mean_wait,
             p95_queue_wait_secs: p95,
@@ -83,7 +100,7 @@ impl PolicyArm {
             cap_throttles: out.stats.policy_cap_throttles,
             coshares: out.stats.policy_coshares,
             tier_routes: out.stats.policy_tier_routes,
-        }
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 
 use sc_cluster::SimOutput;
 use sc_obs::TimelineSample;
+use sc_stats::StatsError;
 
 /// The cluster time-series plus its summary statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,8 +47,24 @@ impl ClusterTimelineFig {
     /// run with at least one event: the loop always closes the series
     /// with a final sample).
     pub fn compute(out: &SimOutput) -> Self {
+        match Self::try_compute(out) {
+            Ok(fig) => fig,
+            Err(e) => panic!("timeline: {e}"),
+        }
+    }
+
+    /// Computes the figure, returning a typed error for an empty
+    /// timeline instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when the timeline has no
+    /// samples.
+    pub fn try_compute(out: &SimOutput) -> Result<Self, StatsError> {
         let samples = out.timeline.samples().to_vec();
-        assert!(!samples.is_empty(), "timeline must hold at least the closing sample");
+        if samples.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
         let depth = out.timeline.queue_depth();
         let occupancies: Vec<f64> = samples
             .iter()
@@ -60,7 +77,7 @@ impl ClusterTimelineFig {
             occupancies.iter().sum::<f64>() / occupancies.len() as f64
         };
         let last = samples[samples.len() - 1];
-        ClusterTimelineFig {
+        Ok(ClusterTimelineFig {
             peak_running: samples.iter().map(|s| s.running).max().unwrap_or(0),
             peak_gpus_in_use: samples.iter().map(|s| s.gpus_in_use).max().unwrap_or(0),
             mean_queue_depth: depth.mean().unwrap_or(0.0),
@@ -70,7 +87,7 @@ impl ClusterTimelineFig {
             injected_failures: last.injected_failures,
             checkpoint_restores: last.checkpoint_restores,
             samples,
-        }
+        })
     }
 
     /// `(days, value)` curves for plotting: GPUs in use, jobs running,

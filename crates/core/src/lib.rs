@@ -7,6 +7,9 @@
 //!
 //! - [`classify`]: the mature / exploratory / development / IDE
 //!   life-cycle classification from observable exit statuses (Sec. VI).
+//! - [`mod@ingest`]: the hardened ingest stage — detection, repair and
+//!   quarantine of collection faults (with [`sc_telemetry::corruption`]
+//!   as the matching seeded injector).
 //! - [`figures`]: one module per paper figure, each a pure function of
 //!   the simulated dataset returning the figure's series plus
 //!   paper-vs-measured [`report::Comparison`] rows.
@@ -29,11 +32,15 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface degenerate inputs as typed errors, not
+// panics; tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod arrivals;
 pub mod classify;
 pub mod facility;
 pub mod figures;
+pub mod ingest;
 pub mod paper;
 pub mod pipeline;
 pub mod report;
@@ -43,8 +50,12 @@ pub mod view;
 pub mod workflow;
 
 pub use classify::{classify_exit, classify_record};
-pub use figures::{ClusterTimelineFig, GoodputFig};
-pub use pipeline::{AnalysisReport, DatasetReport};
+pub use figures::{ClusterTimelineFig, DataQualityFig, GoodputFig};
+pub use ingest::{
+    corrupt_and_ingest, ingest, DataQualityError, IngestOutput, IngestReport, Provenance,
+    QuarantineAction, QuarantineEntry,
+};
+pub use pipeline::{AnalysisReport, DatasetReport, PipelineError};
 pub use report::Comparison;
 pub use userstats::{user_stats, UserStats};
 pub use view::{gpu_views, GpuJobView};

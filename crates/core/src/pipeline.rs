@@ -7,7 +7,36 @@ use crate::userstats::{user_stats, UserStats};
 use crate::view::gpu_views;
 use sc_cluster::{ClusterSpec, SimOutput};
 use sc_obs::StageLog;
+use sc_stats::StatsError;
 use sc_telemetry::dataset::DatasetFunnel;
+
+/// A figure stage failed on a degenerate input. Carries the stage name
+/// so a pipeline over repaired (possibly thinned) data can report
+/// *which* figure could not be computed instead of unwinding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError {
+    /// The pipeline stage ("fig3" … "fig17", "goodput", "timeline").
+    pub stage: &'static str,
+    /// The underlying statistics error.
+    pub source: StatsError,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline stage {}: {}", self.stage, self.source)
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Unwraps one fan-out slot, tagging a figure error with its stage.
+fn take<T>(slot: Option<Result<T, StatsError>>, stage: &'static str) -> Result<T, PipelineError> {
+    slot.expect("fan-out task ran").map_err(|source| PipelineError { stage, source })
+}
 
 /// Every figure of the paper, computed from one simulation run.
 #[derive(Debug, Clone)]
@@ -69,6 +98,16 @@ impl AnalysisReport {
         Self::from_sim_logged(out, &StageLog::new())
     }
 
+    /// Like [`AnalysisReport::from_sim`] but returning a typed error
+    /// when a figure's population is missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage as a [`PipelineError`].
+    pub fn try_from_sim(out: &SimOutput) -> Result<Self, PipelineError> {
+        Self::try_from_sim_logged(out, &StageLog::new())
+    }
+
     /// Like [`AnalysisReport::from_sim`], recording a wall-clock span
     /// per pipeline stage (view building, user stats, each figure)
     /// into `log` — the substrate of the Chrome trace export. The
@@ -78,6 +117,20 @@ impl AnalysisReport {
     ///
     /// Panics under the same conditions as [`AnalysisReport::from_sim`].
     pub fn from_sim_logged(out: &SimOutput, log: &StageLog) -> Self {
+        match Self::try_from_sim_logged(out, log) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The `Result`-based core of the pipeline: computes every figure,
+    /// recording one span per stage, and surfaces the first degenerate
+    /// input as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage as a [`PipelineError`].
+    pub fn try_from_sim_logged(out: &SimOutput, log: &StageLog) -> Result<Self, PipelineError> {
         let views = log.time("gpu_views", || gpu_views(&out.dataset));
         let users = log.time("user_stats", || user_stats(&views));
         // The figure computations are independent of each other; fan
@@ -103,49 +156,49 @@ impl AnalysisReport {
         {
             let (views, users, detailed) = (&views, &users, &out.detailed);
             sc_par::run_tasks(vec![
-                Box::new(|| fig3 = Some(log.time("fig03", || Fig3::compute(&out.dataset)))),
-                Box::new(|| fig4 = Some(log.time("fig04", || Fig4::compute(views)))),
-                Box::new(|| fig5 = Some(log.time("fig05", || Fig5::compute(views)))),
-                Box::new(|| fig6 = Some(log.time("fig06", || Fig6::compute(detailed)))),
-                Box::new(|| fig7 = Some(log.time("fig07", || Fig7::compute(detailed, views)))),
-                Box::new(|| fig8 = Some(log.time("fig08", || Fig8::compute(views)))),
-                Box::new(|| fig9 = Some(log.time("fig09", || Fig9::compute(views)))),
-                Box::new(|| fig10 = Some(log.time("fig10", || Fig10::compute(users)))),
-                Box::new(|| fig11 = Some(log.time("fig11", || Fig11::compute(users)))),
-                Box::new(|| fig12 = Some(log.time("fig12", || Fig12::compute(users)))),
-                Box::new(|| fig13 = Some(log.time("fig13", || Fig13::compute(views, users)))),
-                Box::new(|| fig14 = Some(log.time("fig14", || Fig14::compute(views)))),
-                Box::new(|| fig15 = Some(log.time("fig15", || Fig15::compute(views)))),
-                Box::new(|| fig16 = Some(log.time("fig16", || Fig16::compute(views)))),
-                Box::new(|| fig17 = Some(log.time("fig17", || Fig17::compute(users)))),
-                Box::new(|| goodput = Some(log.time("goodput", || GoodputFig::compute(out)))),
+                Box::new(|| fig3 = Some(log.time("fig03", || Fig3::try_compute(&out.dataset)))),
+                Box::new(|| fig4 = Some(log.time("fig04", || Fig4::try_compute(views)))),
+                Box::new(|| fig5 = Some(log.time("fig05", || Fig5::try_compute(views)))),
+                Box::new(|| fig6 = Some(log.time("fig06", || Fig6::try_compute(detailed)))),
+                Box::new(|| fig7 = Some(log.time("fig07", || Fig7::try_compute(detailed, views)))),
+                Box::new(|| fig8 = Some(log.time("fig08", || Fig8::try_compute(views)))),
+                Box::new(|| fig9 = Some(log.time("fig09", || Fig9::try_compute(views)))),
+                Box::new(|| fig10 = Some(log.time("fig10", || Fig10::try_compute(users)))),
+                Box::new(|| fig11 = Some(log.time("fig11", || Fig11::try_compute(users)))),
+                Box::new(|| fig12 = Some(log.time("fig12", || Fig12::try_compute(users)))),
+                Box::new(|| fig13 = Some(log.time("fig13", || Fig13::try_compute(views, users)))),
+                Box::new(|| fig14 = Some(log.time("fig14", || Fig14::try_compute(views)))),
+                Box::new(|| fig15 = Some(log.time("fig15", || Fig15::try_compute(views)))),
+                Box::new(|| fig16 = Some(log.time("fig16", || Fig16::try_compute(views)))),
+                Box::new(|| fig17 = Some(log.time("fig17", || Fig17::try_compute(users)))),
+                Box::new(|| goodput = Some(log.time("goodput", || GoodputFig::try_compute(out)))),
                 Box::new(|| {
-                    timeline = Some(log.time("timeline", || ClusterTimelineFig::compute(out)))
+                    timeline = Some(log.time("timeline", || ClusterTimelineFig::try_compute(out)))
                 }),
             ]);
         }
-        AnalysisReport {
+        Ok(AnalysisReport {
             table1: ClusterSpec::supercloud().table1(),
             funnel: out.dataset.funnel(),
-            fig3: fig3.expect("computed"),
-            fig4: fig4.expect("computed"),
-            fig5: fig5.expect("computed"),
-            fig6: fig6.expect("computed"),
-            fig7: fig7.expect("computed"),
-            fig8: fig8.expect("computed"),
-            fig9: fig9.expect("computed"),
-            fig10: fig10.expect("computed"),
-            fig11: fig11.expect("computed"),
-            fig12: fig12.expect("computed"),
-            fig13: fig13.expect("computed"),
-            fig14: fig14.expect("computed"),
-            fig15: fig15.expect("computed"),
-            fig16: fig16.expect("computed"),
-            fig17: fig17.expect("computed"),
-            goodput: goodput.expect("computed"),
-            timeline: timeline.expect("computed"),
+            fig3: take(fig3, "fig3")?,
+            fig4: take(fig4, "fig4")?,
+            fig5: take(fig5, "fig5")?,
+            fig6: take(fig6, "fig6")?,
+            fig7: take(fig7, "fig7")?,
+            fig8: take(fig8, "fig8")?,
+            fig9: take(fig9, "fig9")?,
+            fig10: take(fig10, "fig10")?,
+            fig11: take(fig11, "fig11")?,
+            fig12: take(fig12, "fig12")?,
+            fig13: take(fig13, "fig13")?,
+            fig14: take(fig14, "fig14")?,
+            fig15: take(fig15, "fig15")?,
+            fig16: take(fig16, "fig16")?,
+            fig17: take(fig17, "fig17")?,
+            goodput: take(goodput, "goodput")?,
+            timeline: take(timeline, "timeline")?,
             users,
-        }
+        })
     }
 
     /// All paper-vs-measured comparisons, grouped by figure.
@@ -285,6 +338,21 @@ impl DatasetReport {
     /// Panics if the dataset lacks a population some figure needs
     /// (e.g. no multi-GPU jobs).
     pub fn from_dataset(dataset: &sc_telemetry::Dataset) -> Self {
+        match Self::try_from_dataset(dataset) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Computes every dataset-only figure, returning a typed error when
+    /// a figure's population is missing — the entry point for datasets
+    /// that went through [`mod@crate::ingest`] repair and may be thinner
+    /// than a clean simulation output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage as a [`PipelineError`].
+    pub fn try_from_dataset(dataset: &sc_telemetry::Dataset) -> Result<Self, PipelineError> {
         let views = gpu_views(dataset);
         let users = user_stats(&views);
         // Same fan-out as `AnalysisReport::from_sim`, minus the two
@@ -305,36 +373,36 @@ impl DatasetReport {
         {
             let (views, users) = (&views, &users);
             sc_par::run_tasks(vec![
-                Box::new(|| fig3 = Some(Fig3::compute(dataset))),
-                Box::new(|| fig4 = Some(Fig4::compute(views))),
-                Box::new(|| fig5 = Some(Fig5::compute(views))),
-                Box::new(|| fig8 = Some(Fig8::compute(views))),
-                Box::new(|| fig9 = Some(Fig9::compute(views))),
-                Box::new(|| fig10 = Some(Fig10::compute(users))),
-                Box::new(|| fig11 = Some(Fig11::compute(users))),
-                Box::new(|| fig12 = Some(Fig12::compute(users))),
-                Box::new(|| fig13 = Some(Fig13::compute(views, users))),
-                Box::new(|| fig14 = Some(Fig14::compute(views))),
-                Box::new(|| fig15 = Some(Fig15::compute(views))),
-                Box::new(|| fig16 = Some(Fig16::compute(views))),
-                Box::new(|| fig17 = Some(Fig17::compute(users))),
+                Box::new(|| fig3 = Some(Fig3::try_compute(dataset))),
+                Box::new(|| fig4 = Some(Fig4::try_compute(views))),
+                Box::new(|| fig5 = Some(Fig5::try_compute(views))),
+                Box::new(|| fig8 = Some(Fig8::try_compute(views))),
+                Box::new(|| fig9 = Some(Fig9::try_compute(views))),
+                Box::new(|| fig10 = Some(Fig10::try_compute(users))),
+                Box::new(|| fig11 = Some(Fig11::try_compute(users))),
+                Box::new(|| fig12 = Some(Fig12::try_compute(users))),
+                Box::new(|| fig13 = Some(Fig13::try_compute(views, users))),
+                Box::new(|| fig14 = Some(Fig14::try_compute(views))),
+                Box::new(|| fig15 = Some(Fig15::try_compute(views))),
+                Box::new(|| fig16 = Some(Fig16::try_compute(views))),
+                Box::new(|| fig17 = Some(Fig17::try_compute(users))),
             ]);
         }
-        DatasetReport {
-            fig3: fig3.expect("computed"),
-            fig4: fig4.expect("computed"),
-            fig5: fig5.expect("computed"),
-            fig8: fig8.expect("computed"),
-            fig9: fig9.expect("computed"),
-            fig10: fig10.expect("computed"),
-            fig11: fig11.expect("computed"),
-            fig12: fig12.expect("computed"),
-            fig13: fig13.expect("computed"),
-            fig14: fig14.expect("computed"),
-            fig15: fig15.expect("computed"),
-            fig16: fig16.expect("computed"),
-            fig17: fig17.expect("computed"),
-        }
+        Ok(DatasetReport {
+            fig3: take(fig3, "fig3")?,
+            fig4: take(fig4, "fig4")?,
+            fig5: take(fig5, "fig5")?,
+            fig8: take(fig8, "fig8")?,
+            fig9: take(fig9, "fig9")?,
+            fig10: take(fig10, "fig10")?,
+            fig11: take(fig11, "fig11")?,
+            fig12: take(fig12, "fig12")?,
+            fig13: take(fig13, "fig13")?,
+            fig14: take(fig14, "fig14")?,
+            fig15: take(fig15, "fig15")?,
+            fig16: take(fig16, "fig16")?,
+            fig17: take(fig17, "fig17")?,
+        })
     }
 
     /// Renders every figure's series as text.

@@ -33,13 +33,20 @@ pub mod prelude {
         CheckpointPolicy, ClusterSpec, FailureCause, FailureModel, GoodputAccounting, JobFate,
         RetryPolicy, SimConfig, SimOutput, Simulation,
     };
-    pub use sc_core::{classify_record, gpu_views, user_stats, AnalysisReport, GoodputFig};
+    pub use sc_core::{
+        classify_record, corrupt_and_ingest, gpu_views, ingest, user_stats, AnalysisReport,
+        DataQualityError, DataQualityFig, DatasetReport, GoodputFig, IngestOutput, IngestReport,
+        PipelineError, Provenance, QuarantineAction,
+    };
     pub use sc_obs::{JsonlSink, Obs, RingSink, StageLog, TraceLevel, TraceSink};
     pub use sc_opportunity::OpportunityReport;
     pub use sc_policy::{
         CosharePolicy, PolicyExperiment, PolicySpec, PowerCapPolicy, TieredPolicy,
     };
     pub use sc_stats::{BoxStats, Ecdf, Lorenz};
-    pub use sc_telemetry::{Dataset, ExitStatus, SubmissionInterface};
+    pub use sc_telemetry::{
+        CorruptionCounters, Corruptor, DataQualityProfile, Dataset, ExitStatus, FaultClass,
+        RawCollection, SubmissionInterface,
+    };
     pub use sc_workload::{LifecycleClass, Trace, WorkloadSpec};
 }

@@ -31,6 +31,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface degenerate inputs as typed errors, not
+// panics; tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod autocorr;
 pub mod bootstrap;

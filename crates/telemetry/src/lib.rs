@@ -21,12 +21,18 @@
 //! - [`collector`]: prolog/epilog lifecycle and node-local buffering.
 //! - [`dataset`]: the joined dataset with the paper's 30-second filter.
 //! - [`phases`]: active/idle phase analysis over sampled series.
+//! - [`corruption`]: seeded data-quality fault injection — the lossy
+//!   version of the same pipeline, for ingest-hardening studies.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface degenerate inputs as typed errors, not
+// panics; tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod aggregate;
 pub mod collector;
+pub mod corruption;
 pub mod dataset;
 pub mod gpu_power;
 pub mod metrics;
@@ -37,6 +43,9 @@ pub mod source;
 
 pub use aggregate::{Aggregate, GpuAggregates};
 pub use collector::{JobMonitor, MonitorConfig, NodeLocalBuffer};
+pub use corruption::{
+    CorruptionConfig, CorruptionCounters, Corruptor, DataQualityProfile, FaultClass, RawCollection,
+};
 pub use dataset::{Dataset, DatasetFunnel};
 pub use gpu_power::{
     gpu_energy_kwh, DVFS_PERF_PER_POWER, FACILITY_BUDGET_W, SUPERCLOUD_GPUS, V100_IDLE_W,

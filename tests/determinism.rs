@@ -214,6 +214,69 @@ fn policy_runs_are_deterministic_across_thread_budgets() {
     }
 }
 
+/// The data-quality subsystem under the same rule: the corrupt ->
+/// ingest -> re-analyze round trip must be byte-identical between a
+/// 1-thread and an N-thread run — corruption coins are hash-derived
+/// from (job id, seed, fault class), repair walks the canonical order,
+/// and the figure fan-out merges in slot order, so the thread budget
+/// can only change wall time.
+#[test]
+fn data_quality_round_trip_is_deterministic_across_thread_budgets() {
+    let run_dq = || {
+        let (_, out) = run(11);
+        let clean = DatasetReport::try_from_dataset(&out.dataset).expect("clean pipeline");
+        let (ingested, injected) =
+            corrupt_and_ingest(&out.dataset, DataQualityProfile::Lossy, 11, &Obs::off())
+                .expect("lossy ingest succeeds");
+        let recovered =
+            DatasetReport::try_from_dataset(&ingested.dataset).expect("recovered pipeline");
+        let fig =
+            DataQualityFig::compute("lossy", injected, ingested.report, &clean, &recovered, None);
+        (ingested.dataset.to_json().expect("serializable"), fig.render())
+    };
+
+    let saved = sc_repro::par::current_threads();
+    sc_repro::par::set_max_threads(1);
+    let (json_a, fig_a) = run_dq();
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let (json_b, fig_b) = run_dq();
+    sc_repro::par::set_max_threads(saved);
+
+    assert_eq!(json_a, json_b, "repaired Dataset JSON must not depend on the thread budget");
+    assert_eq!(fig_a, fig_b, "DataQualityFig text must not depend on the thread budget");
+    assert!(fig_a.contains("ledger balanced: yes"), "the lossy ledger must balance");
+}
+
+const GOLDEN_LEDGER: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/ingest_ledger_lossy_seed42.txt");
+
+/// Golden-ledger regression: the rendered ingest repair ledger for the
+/// lossy profile at a fixed seed must match the committed bytes
+/// exactly. Any intentional change to the fault taxonomy, repair
+/// strategies, or ledger formatting must regenerate the golden file
+/// (run `scripts/update_golden.sh`, or set `SC_REGEN_GOLDEN=1` and
+/// rerun) and justify the diff in review.
+#[test]
+fn golden_ingest_ledger_matches_committed_bytes() {
+    let (_, out) = run(42);
+    let (ingested, injected) =
+        corrupt_and_ingest(&out.dataset, DataQualityProfile::Lossy, 42, &Obs::off())
+            .expect("lossy ingest succeeds");
+    assert!(ingested.report.balances_against(&injected));
+    let rendered = ingested.report.render();
+    if std::env::var("SC_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_LEDGER, &rendered).expect("write golden ledger");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(GOLDEN_LEDGER).expect("golden ledger committed at tests/golden/");
+    assert_eq!(
+        rendered, golden,
+        "ingest ledger diverges from golden; regenerate with scripts/update_golden.sh if \
+         intentional"
+    );
+}
+
 /// The failure subsystem under the same rule: the pre-computed failure
 /// schedule, every requeue decision (job fates), the goodput ledger,
 /// and the rendered figures must be byte-identical between a 1-thread

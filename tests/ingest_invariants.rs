@@ -1,0 +1,158 @@
+//! Ingest-repair invariants: for any corruption profile and seed, the
+//! corrupt -> ingest round trip produces a structurally valid dataset
+//! and a ledger that balances per fault class; the `off` profile is a
+//! byte-exact no-op.
+//!
+//! The small simulation is computed once (`OnceLock`) and only the
+//! cheap corrupt/ingest round trip varies per proptest case, so the
+//! suite stays fast while sweeping profiles and seeds.
+
+use proptest::prelude::*;
+use sc_repro::prelude::*;
+use std::sync::OnceLock;
+
+static SIM: OnceLock<SimOutput> = OnceLock::new();
+
+/// A 1%-scale simulation shared by every case.
+fn small_sim() -> &'static SimOutput {
+    SIM.get_or_init(|| {
+        let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+        spec.users = 32;
+        let trace = Trace::generate(&spec, 20_260_807);
+        Simulation::new(SimConfig { detailed_series_jobs: 0, ..Default::default() }).run(&trace)
+    })
+}
+
+/// The non-trivial profiles the properties sweep.
+const PROFILES: [DataQualityProfile; 3] =
+    [DataQualityProfile::Supercloud, DataQualityProfile::Lossy, DataQualityProfile::Hostile];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Per-class ledger balance: everything injected is detected, and
+    /// everything detected is either repaired or quarantined. Holds
+    /// for every profile at any seed by construction (the corruptor
+    /// only injects faults the detector can see).
+    #[test]
+    fn ledger_balances_for_any_profile_and_seed(
+        profile_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = PROFILES[profile_idx];
+        let clean = &small_sim().dataset;
+        let (out, injected) = corrupt_and_ingest(clean, profile, seed, &Obs::off())
+            .expect("ingest succeeds on corrupted sim output");
+        prop_assert!(
+            out.report.balances_against(&injected),
+            "profile {profile} seed {seed}: injected {:?} vs detected {:?} \
+             repaired {:?} quarantined {:?}",
+            injected,
+            out.report.detected,
+            out.report.repaired,
+            out.report.quarantined
+        );
+    }
+
+    /// Structural soundness of the recovered dataset: canonical order,
+    /// finite submit/start timestamps, no duplicate job ids, and every
+    /// GPU-analyzed record that kept its telemetry has rectangular
+    /// (lockstep) per-GPU aggregates.
+    #[test]
+    fn recovered_dataset_is_structurally_sound(
+        profile_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = PROFILES[profile_idx];
+        let clean = &small_sim().dataset;
+        let (out, _) = corrupt_and_ingest(clean, profile, seed, &Obs::off())
+            .expect("ingest succeeds");
+        let records = out.dataset.records();
+        prop_assert!(!records.is_empty());
+        let mut prev_submit = f64::NEG_INFINITY;
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            prop_assert!(r.sched.submit_time.is_finite());
+            prop_assert!(r.sched.start_time.is_finite());
+            prop_assert!(r.sched.start_time >= r.sched.submit_time - 1e-9);
+            prop_assert!(r.sched.submit_time >= prev_submit, "canonical order");
+            prev_submit = r.sched.submit_time;
+            prop_assert!(seen.insert(r.sched.job_id), "duplicate id {:?}", r.sched.job_id);
+            if let Some(gpu) = &r.gpu {
+                let counts: Vec<u64> =
+                    gpu.per_gpu.iter().map(|a| a.sm_util.count).collect();
+                prop_assert!(
+                    counts.iter().all(|&c| c == counts[0]),
+                    "ragged per-GPU aggregates for {:?}",
+                    r.sched.job_id
+                );
+            }
+        }
+    }
+
+    /// The `off` profile is a byte-exact no-op on record content: zero
+    /// injected faults, zero detections, and every recovered record is
+    /// bit-identical to its clean counterpart. Ingest always emits the
+    /// canonical `(submit, job_id)` order, so the clean side is sorted
+    /// the same way before comparing — the order is the only permitted
+    /// difference.
+    #[test]
+    fn off_profile_is_a_byte_exact_noop(seed in 0u64..1_000_000) {
+        let clean = &small_sim().dataset;
+        let (out, injected) =
+            corrupt_and_ingest(clean, DataQualityProfile::Off, seed, &Obs::off())
+                .expect("off-profile ingest succeeds");
+        prop_assert_eq!(injected.total(), 0);
+        prop_assert_eq!(out.report.detected.total(), 0);
+        prop_assert_eq!(out.report.repaired.total(), 0);
+        prop_assert_eq!(out.report.quarantined.total(), 0);
+        let mut canon: Vec<_> = clean.records().iter().collect();
+        canon.sort_by(|a, b| {
+            a.sched
+                .submit_time
+                .total_cmp(&b.sched.submit_time)
+                .then(a.sched.job_id.cmp(&b.sched.job_id))
+        });
+        prop_assert_eq!(canon.len(), out.dataset.records().len());
+        for (c, r) in canon.iter().zip(out.dataset.records()) {
+            // Debug formatting round-trips f64 exactly, so string
+            // equality here is bit-level content equality.
+            prop_assert_eq!(format!("{c:?}"), format!("{r:?}"));
+        }
+    }
+
+    /// Obs events are 1:1 with the ledger: one `dq_repair` per repaired
+    /// fault, one `dq_quarantine` per quarantined fault.
+    #[test]
+    fn obs_events_match_the_ledger(seed in 0u64..1_000_000) {
+        let clean = &small_sim().dataset;
+        let sink = RingSink::new(TraceLevel::Events, 1 << 16);
+        let (out, _) =
+            corrupt_and_ingest(clean, DataQualityProfile::Lossy, seed, &Obs::new(&sink))
+                .expect("lossy ingest succeeds");
+        let records = sink.records();
+        let repairs = records.iter().filter(|r| r.name == "dq_repair").count() as u64;
+        let quarantines =
+            records.iter().filter(|r| r.name == "dq_quarantine").count() as u64;
+        prop_assert_eq!(repairs, out.report.repaired.total());
+        prop_assert_eq!(quarantines, out.report.quarantined.total());
+    }
+}
+
+/// Determinism of the round trip itself (outside proptest so it runs
+/// exactly once): the same profile and seed produce the same repaired
+/// bytes and the same ledger.
+#[test]
+fn round_trip_is_seed_stable() {
+    let clean = &small_sim().dataset;
+    let (a, ia) = corrupt_and_ingest(clean, DataQualityProfile::Hostile, 99, &Obs::off())
+        .expect("ingest succeeds");
+    let (b, ib) = corrupt_and_ingest(clean, DataQualityProfile::Hostile, 99, &Obs::off())
+        .expect("ingest succeeds");
+    assert_eq!(format!("{ia:?}"), format!("{ib:?}"));
+    assert_eq!(
+        a.dataset.to_json().expect("serializable"),
+        b.dataset.to_json().expect("serializable")
+    );
+    assert_eq!(a.report.render(), b.report.render());
+}
