@@ -42,6 +42,9 @@ fn main() {
                 scale = value("--scale")
                     .parse()
                     .unwrap_or_else(|_| usage_error("--scale needs a number"));
+                if !(scale > 0.0 && scale.is_finite()) {
+                    usage_error("--scale must be a positive finite factor");
+                }
             }
             "--seed" => {
                 seed = value("--seed")

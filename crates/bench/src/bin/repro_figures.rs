@@ -116,6 +116,9 @@ fn parse_args() -> Args {
                 args.scale = value("--scale")
                     .parse()
                     .unwrap_or_else(|_| usage_error("--scale needs a number"));
+                if !(args.scale > 0.0 && args.scale.is_finite()) {
+                    usage_error("--scale must be a positive finite factor");
+                }
             }
             "--seed" => {
                 args.seed = value("--seed")
@@ -229,6 +232,21 @@ struct Stage {
     secs: f64,
 }
 
+/// Peak resident set size of this process in bytes, from the kernel's
+/// high-water mark (`VmHWM` in `/proc/self/status`). Returns 0 where
+/// procfs is unavailable (non-Linux), which downstream gates treat as
+/// "not measured".
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
 /// Renders the benchmark report by hand: four stages and a handful of
 /// scalars do not warrant a serialization dependency in a binary.
 fn bench_json(threads: usize, scale: f64, seed: u64, jobs: usize, stages: &[Stage]) -> String {
@@ -249,6 +267,7 @@ fn bench_json(threads: usize, scale: f64, seed: u64, jobs: usize, stages: &[Stag
         ));
     }
     out.push_str("  },\n");
+    out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
     out.push_str(&format!("  \"total_secs\": {total:.6},\n"));
     out.push_str(&format!("  \"total_jobs_per_sec\": {:.1}\n", jobs as f64 / total.max(1e-9)));
     out.push_str("}\n");
@@ -348,6 +367,41 @@ single-threaded event loop, so it is byte-identical at any \
 `FILE.chrome.json` sidecar carries the wall-clock stage spans for \
 chrome://tracing or https://ui.perfetto.dev. With tracing off the \
 instrumentation compiles down to a cached enum compare per site.\n";
+
+/// The streaming-telemetry section of the generated report: the
+/// before/after stage breakdown and the memory-bound claim. The
+/// full-scale and 1M-job rows are measured constants (regenerated with
+/// BENCH_repro.json); the per-run table below them is live.
+const STREAMING_BENCH: &str = "\n## Streaming telemetry engine\n\n\
+The original telemetry stage materialized every per-job sample series \
+before any aggregation ran, so the full-scale reproduction spent 47.2 s \
+of its 48.4 s wall-clock synthesizing series at 1,584 jobs/sec. The \
+streaming engine synthesizes each job's series tick-by-tick straight \
+into one-pass aggregators (segmentation builder, CoV folds, mergeable \
+quantile sketch / Welford / histogram summaries) over a thread-local \
+scratch spill, so wall-clock and peak memory scale with aggregate \
+state, not sample count. Full-scale (74,820 jobs, seed 42) before vs \
+after:\n\n\
+| engine | threads | telemetry | jobs/sec | total | peak RSS |\n\
+|---|---|---|---|---|---|\n\
+| batch (committed baseline) | 1 | 47.23 s | 1,584 | 48.42 s | not recorded |\n\
+| streaming | 1 | 4.52 s | 16,553 | 5.67 s | 81.3 MiB |\n\
+| streaming | 4 | 5.08 s | 14,740 | 6.66 s | 122.6 MiB |\n\
+| streaming | 8 | 5.32 s | 14,062 | 6.45 s | 198.1 MiB |\n\n\
+(The rows above were measured on a one-core container, so extra \
+workers only add scheduling overhead and per-worker scratch; the \
+thread matrix exists to prove the determinism contract — stdout is \
+byte-identical across all three rows — not scaling.)\n\n\
+The O(aggregate state) memory claim is demonstrated by a 1M-job run \
+(`--scale 13.366`, 1,000,044 jobs — 13.4x the sample volume): peak RSS \
+grows only with the recorded dataset (one epilog record per job, plus \
+O(threads) in-flight series scratch bounded by the SPSC channel \
+capacity), not with the synthesized sample count. Measured: 776 MiB \
+peak RSS for 57.4 s of telemetry (17,425 jobs/sec) — 9.5x the RSS of \
+the 74,820-job run for 13.4x the jobs, where the batch engine's \
+materialized series alone would have needed tens of GiB. \
+`peak_rss_bytes` is recorded in every `--bench-json` report and \
+regression-gated by `scripts/check_bench.py`.\n";
 
 /// The data-quality section of the generated report: the collection
 /// fault taxonomy and the ingest repair pipeline.
@@ -456,13 +510,13 @@ fn main() {
         eprintln!("wrote {path} (sim-time JSONL) and {chrome_path} (Perfetto stages)");
     }
 
+    let stages = [
+        Stage { name: "trace_gen", secs: trace_gen_secs },
+        Stage { name: "sim_event_loop", secs: timings.event_loop_secs },
+        Stage { name: "telemetry", secs: timings.telemetry_secs },
+        Stage { name: "analysis", secs: analysis_secs },
+    ];
     if let Some(path) = &args.bench_json {
-        let stages = [
-            Stage { name: "trace_gen", secs: trace_gen_secs },
-            Stage { name: "sim_event_loop", secs: timings.event_loop_secs },
-            Stage { name: "telemetry", secs: timings.telemetry_secs },
-            Stage { name: "analysis", secs: analysis_secs },
-        ];
         let json = bench_json(
             sc_par::current_threads(),
             args.scale,
@@ -478,6 +532,22 @@ fn main() {
     println!("{}", report.render_text());
     println!("detailed-series jobs collected: {}", out.detailed.len());
     println!("simulation stats: {:?}", out.stats);
+
+    // Streaming-vs-batch cross-validation: every one-pass aggregate the
+    // telemetry stage folded in flight is re-derived from the
+    // materialized dataset and held to its documented error law. A
+    // divergence means the streaming engine broke the batch contract,
+    // so it is a hard failure, like an unbalanced ingest ledger.
+    let streaming_fig = match sc_core::StreamingTelemetryFig::try_compute(&out) {
+        Ok(fig) => {
+            println!("{}", fig.render());
+            if !fig.passes() {
+                fail("streaming telemetry aggregates diverge from the batch dataset");
+            }
+            Some(fig)
+        }
+        Err(_) => None, // CPU-only trace: nothing streamed
+    };
 
     println!("\n================ paper vs measured ================\n");
     for (title, rows) in report.all_comparisons() {
@@ -602,6 +672,31 @@ fn main() {
         md.push_str(KNOWN_GAPS);
         md.push_str(FAILURE_TAXONOMY);
         md.push_str(TRACING);
+        md.push_str(STREAMING_BENCH);
+        md.push_str(&format!(
+            "\nThis run (scale {}, seed {}, {} threads):\n\n\
+             | stage | secs | jobs/sec |\n|---|---|---|\n",
+            args.scale,
+            args.seed,
+            sc_par::current_threads()
+        ));
+        for s in &stages {
+            md.push_str(&format!(
+                "| {} | {:.3} | {:.0} |\n",
+                s.name,
+                s.secs,
+                trace.jobs().len() as f64 / s.secs.max(1e-9)
+            ));
+        }
+        md.push_str(&format!(
+            "\nPeak RSS this run: {:.1} MiB.\n",
+            peak_rss_bytes() as f64 / (1024.0 * 1024.0)
+        ));
+        if let Some(fig) = &streaming_fig {
+            md.push_str("\n```text\n");
+            md.push_str(&fig.render());
+            md.push_str("```\n");
+        }
         md.push_str("\n## Beyond the figures\n\n```text\n");
         md.push_str(&sc_core::WorkflowChain::fit(&views).render());
         md.push('\n');

@@ -10,9 +10,10 @@ use crate::scheduler::{RunningJob, Scheduler};
 use crate::spec::ClusterSpec;
 use sc_obs::{Obs, Timeline, TimelineSample};
 use sc_telemetry::dataset::{Dataset, MIN_GPU_JOB_RUNTIME_SECS};
-use sc_telemetry::phases::{active_variability, phase_stats, ActiveVariability, PhaseStats};
+use sc_telemetry::phases::{ActiveVariability, PhaseStats};
 use sc_telemetry::record::{ExitStatus, FailureCause, GpuJobRecord, JobId, SchedulerRecord};
-use sc_telemetry::sampler::GpuSampler;
+use sc_telemetry::sampler::{tick_count, GpuSampler};
+use sc_telemetry::stream::{stream_detail, TelemetryStreamSummary};
 use sc_workload::{JobSpec, PlannedOutcome, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -210,6 +211,10 @@ pub struct SimOutput {
     /// depth, running jobs, GPU occupancy, nodes down, failure and
     /// restore counters) — the substrate of the ClusterTimeline figure.
     pub timeline: Timeline,
+    /// Mergeable one-pass summary of the telemetry stage, folded in
+    /// input order as epilogs stream out of the parallel batch —
+    /// aggregate state only, byte-identical at any thread budget.
+    pub telemetry_summary: TelemetryStreamSummary,
 }
 
 /// Wall-clock timings of one simulation run, split by stage.
@@ -732,38 +737,51 @@ impl Simulation {
         );
         let event_loop_secs = wall.elapsed().as_secs_f64();
 
-        // Batch telemetry synthesis, decoupled from the event loop.
-        // Each epilog is a pure function of (job spec, start, end,
-        // exit), so the batch parallelizes freely; `par_map` returns
-        // results in completion order, which keeps the dataset
-        // byte-identical to the old inline path at any thread count.
+        // Streaming telemetry synthesis, decoupled from the event
+        // loop. Each epilog is a pure function of (job spec, start,
+        // end, exit), so producers parallelize freely; `par_stream`
+        // delivers results in completion order through bounded SPSC
+        // channels, which keeps the dataset byte-identical to the old
+        // materialize-everything batch at any thread count while
+        // bounding in-flight epilogs to O(threads x channel capacity).
         let batch_t0 = std::time::Instant::now();
-        let epilogs = sc_par::par_map(&completions, |c| {
-            self.synthesize_epilog(
-                &jobs[c.trace_idx],
-                c.start_time,
-                c.end_time,
-                c.exit,
-                c.cap_w,
-                detailed_fraction,
-                &sampler,
-            )
-        });
         let mut sched_records: Vec<SchedulerRecord> = Vec::with_capacity(jobs.len());
         let mut gpu_records: Vec<GpuJobRecord> = Vec::new();
         let mut detailed: Vec<DetailedJobStats> = Vec::new();
-        for epilog in epilogs {
-            // Scalar stats accumulate in completion order, exactly as
-            // the inline path summed them (float addition order
-            // matters for reproducibility).
-            stats.gpu_hours += epilog.sched.gpu_hours();
-            if epilog.sched.exit == ExitStatus::NodeFailure {
-                stats.hardware_failures += 1;
-            }
-            sched_records.push(epilog.sched);
-            gpu_records.extend(epilog.gpu);
-            detailed.extend(epilog.detailed);
-        }
+        let mut telemetry_summary = TelemetryStreamSummary::new();
+        sc_par::par_stream(
+            &completions,
+            |c| {
+                self.synthesize_epilog(
+                    &jobs[c.trace_idx],
+                    c.start_time,
+                    c.end_time,
+                    c.exit,
+                    c.cap_w,
+                    detailed_fraction,
+                    &sampler,
+                )
+            },
+            |_, epilog| {
+                // Scalar stats and the streaming summary accumulate in
+                // input order (par_stream reorders deliveries), exactly
+                // as the inline path summed them (float addition order
+                // matters for reproducibility).
+                stats.gpu_hours += epilog.sched.gpu_hours();
+                if epilog.sched.exit == ExitStatus::NodeFailure {
+                    stats.hardware_failures += 1;
+                }
+                if let Some(gpu) = &epilog.gpu {
+                    telemetry_summary.record_gpu_job(epilog.sched.run_time(), &gpu.per_gpu);
+                }
+                if let Some(d) = &epilog.detailed {
+                    telemetry_summary.record_detail(&d.phases);
+                }
+                sched_records.push(epilog.sched);
+                gpu_records.extend(epilog.gpu);
+                detailed.extend(epilog.detailed);
+            },
+        );
         let telemetry_secs = batch_t0.elapsed().as_secs_f64();
 
         (
@@ -774,6 +792,7 @@ impl Simulation {
                 fates,
                 goodput,
                 timeline,
+                telemetry_summary,
             },
             SimTimings { event_loop_secs, telemetry_secs },
         )
@@ -1032,10 +1051,16 @@ impl Simulation {
                 }
                 gpu = Some(GpuJobRecord { job_id: job.job_id, per_gpu });
                 if hash_unit(job.truth_seed ^ 0x5eed_cafe) < detailed_fraction {
-                    let series = sampler.sample_series(&truth, run_time);
-                    if !series.is_empty() {
-                        let phases = phase_stats(&series).expect("non-empty series");
-                        let variability = active_variability(&series).expect("non-empty series");
+                    // Streaming path: the ground truth pushes job-level
+                    // ticks straight into the one-pass detail reducer —
+                    // bit-identical to materializing the series and
+                    // running `phase_stats` / `active_variability`, at
+                    // O(#runs) memory (tested in sc-workload).
+                    let period = sampler.period_secs();
+                    if tick_count(run_time, period) > 0 && !truth.gpus.is_empty() {
+                        let (phases, variability) =
+                            stream_detail(|sink| truth.stream_util3(run_time, period, sink))
+                                .expect("non-empty stream of finite ticks");
                         detailed =
                             Some(DetailedJobStats { job_id: job.job_id, phases, variability });
                     }

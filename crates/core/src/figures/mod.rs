@@ -23,6 +23,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod goodput;
 pub mod policy_ab;
+pub mod streaming;
 pub mod timeline;
 
 pub use data_quality::{DataQualityFig, DeltaRow};
@@ -43,4 +44,5 @@ pub use fig16::Fig16;
 pub use fig17::Fig17;
 pub use goodput::GoodputFig;
 pub use policy_ab::{PolicyAbFig, PolicyArm};
+pub use streaming::{StreamCheck, StreamingTelemetryFig};
 pub use timeline::ClusterTimelineFig;

@@ -1,0 +1,268 @@
+//! Bounded single-producer single-consumer ring-buffer channels.
+//!
+//! The streaming telemetry pipeline moves per-job results from producer
+//! workers to the order-restoring consumer through these channels. The
+//! ring is a fixed-capacity array with two monotonically increasing
+//! cursors (head = next read, tail = next write); because exactly one
+//! thread writes each cursor, a release store on the writer side paired
+//! with an acquire load on the reader side is the only synchronization
+//! needed — no locks, no allocation after construction.
+//!
+//! The bounded capacity is what turns the pipeline's memory bound into
+//! `O(threads x capacity)`: a producer that runs ahead of the consumer
+//! blocks in [`Sender::send`] (backpressure) instead of buffering an
+//! unbounded backlog.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Shared ring state. `head`/`tail` count items ever read/written (they
+/// are not reduced modulo the capacity until indexing), so `tail - head`
+/// is always the number of buffered items.
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// Safety: only the single producer writes a slot (between its Acquire of
+// `head` and Release of `tail`) and only the single consumer reads it
+// (between its Acquire of `tail` and Release of `head`), so slots are
+// never accessed concurrently.
+unsafe impl<T: Send> Sync for Ring<T> {}
+unsafe impl<T: Send> Send for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // With both endpoints gone we have exclusive access; drop any
+        // items still buffered.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let slot = self.buf[i % self.buf.len()].get_mut();
+            // Safety: slots in [head, tail) were written and never read.
+            unsafe { slot.assume_init_drop() };
+        }
+    }
+}
+
+/// A short spin that escalates to yielding the time slice — producers
+/// and consumers exchange coarse-grained items (one job's telemetry per
+/// send), so a parked-thread mechanism would be over-engineering.
+fn backoff(attempt: &mut u32) {
+    *attempt = attempt.saturating_add(1);
+    if *attempt < 16 {
+        std::hint::spin_loop();
+    } else {
+        thread::yield_now();
+    }
+}
+
+/// The producing endpoint. Not cloneable: single producer by type.
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").field("capacity", &self.ring.buf.len()).finish()
+    }
+}
+
+impl<T: Send> Sender<T> {
+    /// Sends an item, blocking (spin/yield) while the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the receiver was dropped.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let cap = ring.buf.len();
+        let tail = ring.tail.load(Ordering::Relaxed); // we are the only writer
+        let mut attempt = 0u32;
+        loop {
+            if !ring.consumer_alive.load(Ordering::Acquire) {
+                return Err(item);
+            }
+            let head = ring.head.load(Ordering::Acquire);
+            if tail - head < cap {
+                // Safety: slot `tail` is unoccupied (tail - head < cap)
+                // and the consumer will not read it until the Release
+                // store below publishes it.
+                unsafe { (*ring.buf[tail % cap].get()).write(item) };
+                ring.tail.store(tail + 1, Ordering::Release);
+                return Ok(());
+            }
+            backoff(&mut attempt);
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.ring.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// The consuming endpoint. Not cloneable: single consumer by type.
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").field("capacity", &self.ring.buf.len()).finish()
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Takes the next item if one is buffered; `None` when the ring is
+    /// currently empty (the channel may still be open).
+    pub fn try_recv(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed); // we are the only writer
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // Safety: slot `head` was published by the producer's Release
+        // store of `tail`, observed by the Acquire load above.
+        let item = unsafe { (*ring.buf[head % ring.buf.len()].get()).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Receives the next item, blocking (spin/yield) while the ring is
+    /// empty; `None` once the sender was dropped and the ring drained.
+    pub fn recv(&mut self) -> Option<T> {
+        let mut attempt = 0u32;
+        loop {
+            if let Some(item) = self.try_recv() {
+                return Some(item);
+            }
+            if !self.ring.producer_alive.load(Ordering::Acquire) {
+                // Drain anything published between the failed try_recv
+                // and the producer's death.
+                return self.try_recv();
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// Whether the sender was dropped (buffered items may remain).
+    pub fn sender_gone(&self) -> bool {
+        !self.ring.producer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Creates a bounded SPSC ring-buffer channel holding at most
+/// `capacity` items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be at least 1");
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(Ring {
+        buf,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (Sender { ring: Arc::clone(&ring) }, Receiver { ring })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_arrive_in_order() {
+        let (tx, mut rx) = channel::<u64>(4);
+        let handle = thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        for i in 0..1000 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        handle.join().expect("producer finished");
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_without_blocking() {
+        let (tx, mut rx) = channel::<u8>(2);
+        assert_eq!(rx.try_recv(), None);
+        tx.send(7).expect("receiver alive");
+        assert_eq!(rx.try_recv(), Some(7));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u8>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(1));
+    }
+
+    #[test]
+    fn recv_drains_buffer_after_sender_drop() {
+        let (tx, mut rx) = channel::<u8>(4);
+        tx.send(1).expect("receiver alive");
+        tx.send(2).expect("receiver alive");
+        drop(tx);
+        assert!(rx.sender_gone());
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn capacity_bounds_buffered_items() {
+        let (tx, mut rx) = channel::<u64>(2);
+        tx.send(1).expect("receiver alive");
+        tx.send(2).expect("receiver alive");
+        // A third send must block until the consumer reads; run it on a
+        // helper thread and unblock it from here.
+        let handle = thread::spawn(move || {
+            tx.send(3).expect("receiver alive");
+        });
+        assert_eq!(rx.recv(), Some(1));
+        handle.join().expect("blocked send completed");
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn dropping_channel_drops_buffered_items() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = channel::<Probe>(4);
+        tx.send(Probe(Arc::clone(&counter))).map_err(|_| ()).expect("receiver alive");
+        tx.send(Probe(Arc::clone(&counter))).map_err(|_| ()).expect("receiver alive");
+        drop(tx);
+        drop(rx);
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+}

@@ -14,7 +14,10 @@
 //! - [`lorenz`]: Lorenz curves, Gini coefficients, and top-*k*% shares
 //!   (the "top 5% of users submit 44% of jobs" Pareto analysis).
 //! - [`segment`]: run-length segmentation of time series into active and
-//!   idle intervals (Fig. 6).
+//!   idle intervals (Fig. 6), batch or incremental ([`SegmentBuilder`]).
+//! - [`streaming`]: one-pass mergeable aggregators (Welford
+//!   mean/variance, log-bucket quantile sketch, mergeable histogram)
+//!   backing the streaming telemetry collector.
 //! - [`dist`]: parametric distributions (lognormal, Pareto, beta, …)
 //!   built on [`rand`]'s uniform source, used by the workload generator.
 //!
@@ -47,6 +50,7 @@ pub mod histogram;
 pub mod kstest;
 pub mod lorenz;
 pub mod segment;
+pub mod streaming;
 
 pub use autocorr::{acf, autocorrelation, decorrelation_lag, moving_average};
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
@@ -58,4 +62,5 @@ pub use error::StatsError;
 pub use histogram::Histogram;
 pub use kstest::{ks_two_sample, KsResult};
 pub use lorenz::Lorenz;
-pub use segment::{segment_intervals, Interval, IntervalKind, Segmentation};
+pub use segment::{segment_intervals, Interval, IntervalKind, SegmentBuilder, Segmentation};
+pub use streaming::{LogQuantileSketch, MergeHistogram, Welford};

@@ -135,9 +135,14 @@ pub fn segment_intervals(
             _ => raw.push(Interval { kind, start: i, len: 1 }),
         }
     }
-    // Pass 2: merge runs shorter than min_run into their neighbours,
-    // repeating until stable (merging can create new short runs).
-    let mut merged = raw;
+    Ok(Segmentation { intervals: smooth(raw, min_run), samples: series.len() })
+}
+
+/// Pass 2 of segmentation: merge runs shorter than `min_run` into their
+/// neighbours, repeating until stable (merging can create new short
+/// runs). Shared by [`segment_intervals`] and [`SegmentBuilder`] so the
+/// streaming path is the batch algorithm by construction.
+fn smooth(mut merged: Vec<Interval>, min_run: usize) -> Vec<Interval> {
     loop {
         if merged.len() <= 1 {
             break;
@@ -167,7 +172,97 @@ pub fn segment_intervals(
         }
         merged = out;
     }
-    Ok(Segmentation { intervals: merged, samples: series.len() })
+    merged
+}
+
+/// Incremental twin of [`segment_intervals`]: values stream in one at a
+/// time (or as constant runs) and only the run-length encoding is held,
+/// so segmenting an `n`-sample series needs `O(#runs)` memory instead of
+/// `O(n)`. [`SegmentBuilder::finish`] applies the same smoothing pass as
+/// the batch function, so for identical inputs the resulting
+/// [`Segmentation`] is identical — including the error behaviour on
+/// empty or non-finite input.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), sc_stats::StatsError> {
+/// use sc_stats::{segment_intervals, SegmentBuilder};
+///
+/// let sm = [0.0, 0.0, 80.0, 85.0, 90.0, 0.0, 0.0, 0.0];
+/// let mut b = SegmentBuilder::new(5.0, 1);
+/// for &v in &sm {
+///     b.push(v);
+/// }
+/// assert_eq!(b.finish()?, segment_intervals(&sm, 5.0, 1)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentBuilder {
+    threshold: f64,
+    min_run: usize,
+    runs: Vec<Interval>,
+    samples: usize,
+    first_non_finite: Option<usize>,
+}
+
+impl SegmentBuilder {
+    /// Starts an empty segmentation with the same `threshold` / `min_run`
+    /// semantics as [`segment_intervals`].
+    pub fn new(threshold: f64, min_run: usize) -> Self {
+        SegmentBuilder { threshold, min_run, runs: Vec::new(), samples: 0, first_non_finite: None }
+    }
+
+    /// Appends one sample.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.push_run(v, 1);
+    }
+
+    /// Appends `count` consecutive samples of the same value — the bulk
+    /// entry point for constant spans.
+    #[inline]
+    pub fn push_run(&mut self, v: f64, count: usize) {
+        if count == 0 {
+            return;
+        }
+        if !v.is_finite() && self.first_non_finite.is_none() {
+            self.first_non_finite = Some(self.samples);
+        }
+        let kind = if v > self.threshold { IntervalKind::Active } else { IntervalKind::Idle };
+        match self.runs.last_mut() {
+            Some(last) if last.kind == kind => last.len += count,
+            _ => self.runs.push(Interval { kind, start: self.samples, len: count }),
+        }
+        self.samples += count;
+    }
+
+    /// Number of samples pushed so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Smooths and returns the segmentation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly like [`segment_intervals`]: [`StatsError::EmptyInput`] if
+    /// nothing was pushed, [`StatsError::NonFinite`] if any pushed value
+    /// was NaN or infinite, and [`StatsError::InvalidParameter`] for
+    /// `min_run == 0`.
+    pub fn finish(self) -> Result<Segmentation, StatsError> {
+        if self.samples == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if let Some(index) = self.first_non_finite {
+            return Err(StatsError::NonFinite { index });
+        }
+        if self.min_run == 0 {
+            return Err(StatsError::InvalidParameter { name: "min_run", value: 0.0 });
+        }
+        Ok(Segmentation { intervals: smooth(self.runs, self.min_run), samples: self.samples })
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +326,49 @@ mod tests {
     fn rejects_invalid_input() {
         assert!(segment_intervals(&[], 5.0, 1).is_err());
         assert!(segment_intervals(&[1.0], 5.0, 0).is_err());
+    }
+
+    #[test]
+    fn builder_matches_error_behaviour() {
+        assert_eq!(SegmentBuilder::new(5.0, 1).finish(), Err(StatsError::EmptyInput));
+        let mut b = SegmentBuilder::new(5.0, 0);
+        b.push(1.0);
+        assert_eq!(b.finish(), Err(StatsError::InvalidParameter { name: "min_run", value: 0.0 }));
+        let mut b = SegmentBuilder::new(5.0, 1);
+        b.push(1.0);
+        b.push(f64::NAN);
+        b.push_run(2.0, 3);
+        assert_eq!(b.finish(), Err(StatsError::NonFinite { index: 1 }));
+    }
+
+    #[test]
+    fn builder_bulk_runs_match_per_sample_pushes() {
+        let mut bulk = SegmentBuilder::new(0.5, 3);
+        let mut single = SegmentBuilder::new(0.5, 3);
+        for (v, n) in [(0.0, 5), (80.0, 2), (0.0, 1), (70.0, 7), (0.0, 4)] {
+            bulk.push_run(v, n);
+            for _ in 0..n {
+                single.push(v);
+            }
+        }
+        assert_eq!(bulk.samples(), single.samples());
+        assert_eq!(bulk.finish().unwrap(), single.finish().unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_builder_matches_batch(
+            series in proptest::collection::vec(0.0..100.0f64, 1..300),
+            threshold in 0.0..100.0f64,
+            min_run in 1usize..5,
+        ) {
+            let batch = segment_intervals(&series, threshold, min_run).unwrap();
+            let mut b = SegmentBuilder::new(threshold, min_run);
+            for &v in &series {
+                b.push(v);
+            }
+            prop_assert_eq!(b.finish().unwrap(), batch);
+        }
     }
 
     proptest! {

@@ -21,6 +21,10 @@
 //! - [`collector`]: prolog/epilog lifecycle and node-local buffering.
 //! - [`dataset`]: the joined dataset with the paper's 30-second filter.
 //! - [`phases`]: active/idle phase analysis over sampled series.
+//! - [`stream`]: streaming ingestion — the [`stream::Util3Sink`]
+//!   producer/consumer contract, one-pass detail reduction that is
+//!   bit-identical to the batch path, and mergeable run-level
+//!   summaries.
 //! - [`corruption`]: seeded data-quality fault injection — the lossy
 //!   version of the same pipeline, for ingest-hardening studies.
 
@@ -40,6 +44,7 @@ pub mod phases;
 pub mod record;
 pub mod sampler;
 pub mod source;
+pub mod stream;
 
 pub use aggregate::{Aggregate, GpuAggregates};
 pub use collector::{JobMonitor, MonitorConfig, NodeLocalBuffer};
@@ -58,3 +63,4 @@ pub use record::{
 };
 pub use sampler::{CpuSampler, GpuSampler, GpuTimeSeries};
 pub use source::MetricSource;
+pub use stream::{stream_detail, DetailSink, TelemetryStreamSummary, Util3Sink};

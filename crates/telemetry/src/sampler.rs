@@ -217,7 +217,10 @@ impl CpuSampler {
 /// computed as `3.0 * 0.1` divided by `0.1` gives 3.0000000000000004,
 /// whose ceil would schedule a 4th sample *at* the kill instant), so the
 /// result is corrected against the defining inequality.
-fn tick_count(duration_secs: f64, period_secs: f64) -> usize {
+///
+/// Public because the streaming producers ([`crate::stream`]) must
+/// enumerate exactly the ticks the batch sampler would take.
+pub fn tick_count(duration_secs: f64, period_secs: f64) -> usize {
     if duration_secs <= 0.0 {
         return 0;
     }

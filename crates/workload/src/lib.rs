@@ -38,6 +38,7 @@ pub mod arrivals;
 pub mod job;
 pub mod power;
 pub mod spec;
+pub mod stream;
 pub mod trace;
 pub mod truth;
 pub mod user;

@@ -295,16 +295,25 @@ impl WorkloadSpec {
         spec
     }
 
-    /// Scales the population down by `factor` (jobs and users), keeping
-    /// every distributional parameter — for fast tests and examples.
+    /// Scales the population by `factor` (jobs and users), keeping
+    /// every distributional parameter — for fast tests, examples, and
+    /// large-scale stress runs.
+    ///
+    /// Factors above 1 also extend the trace window proportionally, so
+    /// arrival intensity — and with it cluster contention — stays in
+    /// the calibrated regime while the job population grows (a longer
+    /// campaign, not an overloaded cluster).
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < factor <= 1`.
+    /// Panics unless `factor` is positive and finite.
     pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        assert!(factor > 0.0 && factor.is_finite(), "factor must be positive and finite");
         self.total_jobs = ((self.total_jobs as f64 * factor).round() as usize).max(50);
         self.users = ((self.users as f64 * factor).round() as usize).max(8);
+        if factor > 1.0 {
+            self.duration_days *= factor;
+        }
         self
     }
 
@@ -400,9 +409,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "factor must be in (0, 1]")]
+    #[should_panic(expected = "factor must be positive and finite")]
     fn scaled_rejects_bad_factor() {
         let _ = WorkloadSpec::supercloud().scaled(0.0);
+    }
+
+    #[test]
+    fn scaled_up_extends_the_window_at_constant_intensity() {
+        let base = WorkloadSpec::supercloud();
+        let spec = WorkloadSpec::supercloud().scaled(13.366);
+        assert_eq!(spec.total_jobs, 1_000_044);
+        assert_eq!(spec.users, 2_553);
+        let base_rate = base.total_jobs as f64 / base.duration_days;
+        let rate = spec.total_jobs as f64 / spec.duration_days;
+        assert!((rate / base_rate - 1.0).abs() < 1e-3, "arrival intensity drifted: {rate}");
+        assert_eq!(spec.classes[0].runtime_median_min, 36.0);
     }
 
     #[test]

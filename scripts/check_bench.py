@@ -7,15 +7,36 @@ reduced --scale, so the baseline's total_secs is scaled by the job-count
 ratio before comparing; the gate fails when the smoke run is more than
 TOLERANCE times slower than that scaled expectation.
 
+The telemetry stage is additionally gated on throughput, not just
+total wall-clock: per-job synthesis cost is scale-invariant, so the
+smoke run's telemetry jobs/sec must stay within --tolerance of the
+baseline's. This is the regression gate for the streaming engine — a
+fallback to materialize-everything batch costs ~10x and trips it even
+through CI noise.
+
+When both reports carry a measured `peak_rss_bytes` (repro_figures
+records the VmHWM high-water mark; 0 means "not measured"), the smoke
+run's peak RSS must not exceed --max-rss-ratio times the full-scale
+baseline's: streaming keeps memory at O(aggregate state), so a reduced
+-scale run sitting above the full-scale high-water mark means series
+are being materialized again.
+
 With --placement, additionally parses the console log of
 `cargo bench --bench placement` (the offline criterion stand-in prints
 `  <id>  median <time> / iter ...` lines) and gates the co-sharing
 policy's placement overhead: the coshare median must stay within
 --placement-overhead times the baseline median.
 
+With --streaming, parses the console log of
+`cargo bench --bench streaming` and requires every aggregator /
+channel / end-to-end bench to be present and under a generous absolute
+ceiling — an order-of-magnitude guard, not a jitter trap.
+
 usage: check_bench.py BASELINE SMOKE [--tolerance 2.0]
+                      [--max-rss-ratio 1.5]
                       [--placement placement_bench.txt]
                       [--placement-overhead 5.0]
+                      [--streaming streaming_bench.txt]
 """
 
 import argparse
@@ -32,6 +53,18 @@ MIN_EXPECTED_SECS = 2.0
 # `  contended_pass_baseline   median 475.30 us / iter  (min ...)`
 MEDIAN_LINE = re.compile(r"^\s+(\S+)\s+median\s+([\d.]+)\s+(ns|us|ms|s)\s+/\s+iter")
 UNIT_SECS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+# Ceilings for the streaming-engine benches (seconds). Typical medians
+# are 20-100x below these; the gate exists to catch an aggregator or
+# channel falling off an algorithmic cliff, not scheduler jitter.
+STREAMING_CEILINGS = {
+    "sketch_push_merge_100k": 0.100,
+    "welford_push_merge_100k": 0.050,
+    "histogram_push_merge_100k": 0.050,
+    "spsc_send_recv_100k": 0.100,
+    "par_stream_order_10k": 0.005,
+    "stream_detail_30min_2gpu": 0.010,
+}
 
 
 def parse_medians(path):
@@ -66,6 +99,23 @@ def check_placement(path, max_overhead):
         )
 
 
+def check_streaming(path):
+    medians = parse_medians(path)
+    failed = []
+    for bench, ceiling in sorted(STREAMING_CEILINGS.items()):
+        if bench not in medians:
+            sys.exit(f"check_bench: {path} has no '{bench}' median "
+                     f"(found: {sorted(medians)})")
+        median = medians[bench]
+        status = "ok" if median <= ceiling else "FAIL"
+        print(f"streaming: {bench:<28} {median * 1e6:10.1f} us "
+              f"(ceiling {ceiling * 1e6:.0f} us) {status}")
+        if median > ceiling:
+            failed.append(bench)
+    if failed:
+        sys.exit(f"check_bench: FAIL — streaming benches over ceiling: {failed}")
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
@@ -85,9 +135,21 @@ def main():
         help="fail when smoke exceeds the scaled baseline by this factor",
     )
     ap.add_argument(
+        "--max-rss-ratio",
+        type=float,
+        default=1.5,
+        help="fail when the smoke run's peak RSS exceeds this multiple of "
+        "the full-scale baseline's (only when both were measured)",
+    )
+    ap.add_argument(
         "--placement",
         metavar="LOG",
         help="console log of `cargo bench --bench placement` to gate",
+    )
+    ap.add_argument(
+        "--streaming",
+        metavar="LOG",
+        help="console log of `cargo bench --bench streaming` to gate",
     )
     ap.add_argument(
         "--placement-overhead",
@@ -100,6 +162,8 @@ def main():
 
     if args.placement:
         check_placement(args.placement, args.placement_overhead)
+    if args.streaming:
+        check_streaming(args.streaming)
 
     base = load(args.baseline)
     smoke = load(args.smoke)
@@ -125,6 +189,39 @@ def main():
             f"check_bench: FAIL — smoke total {total:.2f} s exceeds "
             f"{limit:.2f} s ({total / expected:.1f}x the scaled baseline)"
         )
+
+    # Per-stage telemetry throughput floor: jobs/sec is scale-invariant,
+    # so the smoke run must hold the baseline's rate within tolerance.
+    base_tel = base.get("stages", {}).get("telemetry")
+    smoke_tel = smoke.get("stages", {}).get("telemetry")
+    if base_tel and smoke_tel:
+        floor = base_tel["jobs_per_sec"] / args.tolerance
+        rate = smoke_tel["jobs_per_sec"]
+        print(f"telemetry: {rate:.0f} jobs/sec "
+              f"(baseline {base_tel['jobs_per_sec']:.0f}, floor {floor:.0f})")
+        if rate < floor:
+            sys.exit(
+                f"check_bench: FAIL — telemetry stage at {rate:.0f} jobs/sec, "
+                f"below the {floor:.0f} floor ({args.tolerance}x under the "
+                f"baseline's {base_tel['jobs_per_sec']:.0f})"
+            )
+
+    # Peak-RSS ceiling: a reduced-scale streaming run must stay under
+    # the full-scale high-water mark (times the ratio); 0 means the
+    # platform could not measure, so the gate is skipped.
+    base_rss = base.get("peak_rss_bytes", 0)
+    smoke_rss = smoke.get("peak_rss_bytes", 0)
+    if base_rss > 0 and smoke_rss > 0:
+        limit_rss = base_rss * args.max_rss_ratio
+        print(f"peak RSS: smoke {smoke_rss / 2**20:.1f} MiB, baseline "
+              f"{base_rss / 2**20:.1f} MiB (limit {limit_rss / 2**20:.1f} MiB)")
+        if smoke_rss > limit_rss:
+            sys.exit(
+                f"check_bench: FAIL — smoke peak RSS {smoke_rss / 2**20:.1f} MiB "
+                f"exceeds {args.max_rss_ratio}x the full-scale baseline "
+                f"({base_rss / 2**20:.1f} MiB): series are being materialized"
+            )
+
     print(f"check_bench: OK — {total / expected:.2f}x the scaled baseline")
 
 

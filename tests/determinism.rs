@@ -88,6 +88,66 @@ fn thread_budget_never_changes_output() {
 
     assert_eq!(json_a, json_b, "Dataset JSON must not depend on the thread budget");
     assert_eq!(text_a, text_b, "figure text must not depend on the thread budget");
+    // The one-pass streaming summary folds in input order behind the
+    // reorder buffer, so its rendered text obeys the same rule.
+    assert_eq!(
+        a.telemetry_summary.render(),
+        b.telemetry_summary.render(),
+        "streaming summary must not depend on the thread budget"
+    );
+    assert_eq!(
+        sc_repro::core::StreamingTelemetryFig::compute(&a).render(),
+        sc_repro::core::StreamingTelemetryFig::compute(&b).render(),
+        "streaming cross-validation must not depend on the thread budget"
+    );
+}
+
+/// The streaming engine under the batch contract: the detailed-subset
+/// statistics the producers fold one tick at a time must equal — bit
+/// for bit, not approximately — what the pre-streaming batch path
+/// (materialize the full sample series, then aggregate) computes for
+/// the same jobs, and the streamed one-pass aggregates must sit within
+/// their documented error bounds of the materialized dataset.
+#[test]
+fn streamed_detail_stats_equal_batch_recomputation() {
+    use sc_repro::telemetry::phases::{active_variability, phase_stats};
+    use sc_repro::telemetry::GpuSampler;
+
+    let (trace, out) = run(42);
+    assert!(!out.detailed.is_empty(), "the detailed subset must be sampled");
+    let sampler = GpuSampler::new();
+    for d in &out.detailed {
+        let job = trace
+            .jobs()
+            .iter()
+            .find(|j| j.job_id == d.job_id)
+            .expect("detailed stats always belong to a trace job");
+        let truth = job.ground_truth().expect("detailed jobs are GPU jobs");
+        let run_time = out
+            .dataset
+            .records()
+            .iter()
+            .find(|r| r.sched.job_id == d.job_id)
+            .expect("detailed jobs pass the dataset filter")
+            .sched
+            .run_time();
+        let series = sampler.sample_series(&truth, run_time);
+        let phases = phase_stats(&series).expect("non-empty series");
+        let variability = active_variability(&series).expect("finite series");
+        assert_eq!(
+            d.phases, phases,
+            "job {}: streamed phase stats must be bit-identical",
+            d.job_id
+        );
+        assert_eq!(
+            d.variability, variability,
+            "job {}: streamed variability must be bit-identical",
+            d.job_id
+        );
+    }
+
+    let fig = sc_repro::core::StreamingTelemetryFig::compute(&out);
+    assert!(fig.passes(), "streamed aggregates must honour their error bounds:\n{}", fig.render());
 }
 
 /// One failure-injected run at the current thread budget.
@@ -232,19 +292,24 @@ fn data_quality_round_trip_is_deterministic_across_thread_budgets() {
             DatasetReport::try_from_dataset(&ingested.dataset).expect("recovered pipeline");
         let fig =
             DataQualityFig::compute("lossy", injected, ingested.report, &clean, &recovered, None);
-        (ingested.dataset.to_json().expect("serializable"), fig.render())
+        (ingested.dataset.to_json().expect("serializable"), fig.render(), out.telemetry_summary)
     };
 
     let saved = sc_repro::par::current_threads();
     sc_repro::par::set_max_threads(1);
-    let (json_a, fig_a) = run_dq();
+    let (json_a, fig_a, summary_a) = run_dq();
     sc_repro::par::set_max_threads(alt_thread_budget());
-    let (json_b, fig_b) = run_dq();
+    let (json_b, fig_b, summary_b) = run_dq();
     sc_repro::par::set_max_threads(saved);
 
     assert_eq!(json_a, json_b, "repaired Dataset JSON must not depend on the thread budget");
     assert_eq!(fig_a, fig_b, "DataQualityFig text must not depend on the thread budget");
     assert!(fig_a.contains("ledger balanced: yes"), "the lossy ledger must balance");
+    assert_eq!(
+        summary_a.render(),
+        summary_b.render(),
+        "streaming summary under lossy ingest must not depend on the thread budget"
+    );
 }
 
 const GOLDEN_LEDGER: &str =
@@ -312,5 +377,10 @@ fn failure_injection_is_deterministic_across_thread_budgets() {
         AnalysisReport::from_sim(&a).render_text(),
         AnalysisReport::from_sim(&b).render_text(),
         "figure text must not depend on the thread budget"
+    );
+    assert_eq!(
+        a.telemetry_summary.render(),
+        b.telemetry_summary.render(),
+        "streaming summary under failure injection must not depend on the thread budget"
     );
 }
