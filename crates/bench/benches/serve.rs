@@ -1,0 +1,46 @@
+//! Microbenchmarks of the query-service request path: the cache-hit
+//! fast path, the cold compute it amortizes, and the executor
+//! round-trip a submitted request pays on top of a blocking call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::{FigureId, PointStat};
+use sc_serve::{Query, ServeConfig, Service};
+use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
+
+static SVC: OnceLock<Arc<Service>> = OnceLock::new();
+
+/// One shared 2%-scale service; the simulation builds once per process
+/// and every bench below only reads.
+fn svc() -> &'static Arc<Service> {
+    SVC.get_or_init(|| {
+        Arc::new(Service::build(ServeConfig {
+            seed: 20_230_101,
+            threads: 2,
+            ..ServeConfig::default()
+        }))
+    })
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let svc = svc();
+    let point = Query::Point(PointStat::MedianRunMin);
+    let figure = Query::Figure(FigureId::Fig9);
+    // Warm both so the *_hit benches measure the cache path alone.
+    svc.query_blocking(&point);
+    svc.query_blocking(&figure);
+
+    let mut g = c.benchmark_group("serve");
+    g.bench_function("point_hit", |b| b.iter(|| black_box(svc.query_blocking(&point))));
+    g.bench_function("figure_hit", |b| b.iter(|| black_box(svc.query_blocking(&figure))));
+    g.bench_function("point_cold", |b| b.iter(|| black_box(svc.query_uncached(&point))));
+    g.bench_function("figure_cold", |b| b.iter(|| black_box(svc.query_uncached(&figure))));
+    // Executor + channel overhead on an always-hot response.
+    g.bench_function("submit_join_hit", |b| {
+        b.iter(|| black_box(svc.submit(point).wait().response))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

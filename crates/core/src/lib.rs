@@ -43,6 +43,7 @@ pub mod figures;
 pub mod ingest;
 pub mod paper;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod svg;
 pub mod userstats;
@@ -56,6 +57,7 @@ pub use ingest::{
     QuarantineAction, QuarantineEntry,
 };
 pub use pipeline::{AnalysisReport, DatasetReport, PipelineError};
+pub use query::{FigureId, PointStat, QueryKey};
 pub use report::Comparison;
 pub use userstats::{user_stats, UserStats};
 pub use view::{gpu_views, GpuJobView};

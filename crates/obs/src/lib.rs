@@ -43,7 +43,7 @@ pub mod stagelog;
 pub mod timeline;
 
 pub use chrome::chrome_trace_json;
-pub use metrics::{Counter, Gauge, Histogram};
+pub use metrics::{Counter, Gauge, Histogram, SharedCounter};
 pub use record::{RecordKind, TraceLevel, TraceRecord, Value};
 pub use sink::{JsonlSink, NullSink, Obs, RingSink, TraceSink};
 pub use stagelog::{StageLog, StageSpan};

@@ -32,6 +32,40 @@ impl Counter {
     }
 }
 
+/// Monotone event count shared across threads.
+///
+/// The serving layer's request path runs on executor worker threads,
+/// so its counters (cache hits/misses, queries served) cannot be the
+/// single-threaded [`Counter`]. `SharedCounter` is the atomic sibling:
+/// relaxed ordering (counts are monotone and independent), cheap
+/// enough for per-request increments, and safe behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct SharedCounter {
+    value: std::sync::atomic::AtomicU64,
+}
+
+impl SharedCounter {
+    /// A counter at zero.
+    pub fn new() -> SharedCounter {
+        SharedCounter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Last-write-wins instantaneous value.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Gauge {

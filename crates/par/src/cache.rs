@@ -1,0 +1,384 @@
+//! Sharded memoization cache with single-flight computation.
+//!
+//! [`MemoCache`] backs the query service: results are cached under a
+//! hashable key, and concurrent requests for the *same* key coalesce
+//! onto one computation — the first caller computes while the rest
+//! block on the in-flight slot and receive the shared result. Values
+//! are returned as `Arc<V>`, so a hit never clones the payload.
+//!
+//! Because cached values are pure functions of their key (the service
+//! layer enforces that), coalescing and caching can never change a
+//! response: a cold miss, a warm hit, and a coalesced wait all yield
+//! the same bytes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a [`MemoCache::get_or_compute`] call was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The value was already cached; no computation, no waiting.
+    Hit,
+    /// This call computed the value (the single flight).
+    Miss,
+    /// Another call was already computing the value; this one waited
+    /// for it and shares the result.
+    Coalesced,
+}
+
+/// Monotone counters describing cache traffic. Snapshots subtract, so
+/// a load generator can report per-phase deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Calls served from the cache without waiting.
+    pub hits: u64,
+    /// Calls that computed the value.
+    pub misses: u64,
+    /// Calls that waited on another call's in-flight computation.
+    pub coalesced: u64,
+}
+
+impl CacheStats {
+    /// Total calls observed.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.coalesced
+    }
+
+    /// The fraction of calls served without a fresh computation
+    /// (hits + coalesced over total); 0 when no calls were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hits + self.coalesced) as f64 / total as f64
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-phase
+    /// accounting over a shared cache.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
+        }
+    }
+}
+
+/// State of one in-flight computation.
+enum FlightState<V> {
+    /// The computing caller has not finished yet.
+    Pending,
+    /// The computation finished; waiters take the shared value.
+    Done(Arc<V>),
+    /// The computing caller panicked; waiters must retry from scratch.
+    Poisoned,
+}
+
+/// One in-flight computation that waiters block on.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Flight<V> {
+        Flight { state: Mutex::new(FlightState::Pending), cv: Condvar::new() }
+    }
+
+    /// Publishes the result (or the poison marker) and wakes waiters.
+    fn finish(&self, value: Option<Arc<V>>) {
+        let mut state = self.state.lock().expect("flight lock poisoned");
+        *state = match value {
+            Some(v) => FlightState::Done(v),
+            None => FlightState::Poisoned,
+        };
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the flight lands; `None` means it was poisoned and
+    /// the caller must retry.
+    fn wait(&self) -> Option<Arc<V>> {
+        let mut state = self.state.lock().expect("flight lock poisoned");
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.cv.wait(state).expect("flight lock poisoned"),
+                FlightState::Done(v) => return Some(v.clone()),
+                FlightState::Poisoned => return None,
+            }
+        }
+    }
+}
+
+/// A cache slot: either a landed value or an in-flight computation.
+enum Entry<V> {
+    InFlight(Arc<Flight<V>>),
+    Ready(Arc<V>),
+}
+
+/// Removes the in-flight entry and poisons its flight if the computing
+/// closure unwinds, so waiters retry instead of blocking forever.
+struct FlightGuard<'a, K: Hash + Eq + Clone, V> {
+    cache: &'a MemoCache<K, V>,
+    key: &'a K,
+    flight: &'a Arc<Flight<V>>,
+    landed: bool,
+}
+
+impl<K: Hash + Eq + Clone, V> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.landed {
+            return;
+        }
+        let mut shard = self.cache.shard(self.key).lock().expect("cache shard poisoned");
+        shard.remove(self.key);
+        drop(shard);
+        self.flight.finish(None);
+    }
+}
+
+/// Sharded concurrent memoization cache with single-flight semantics.
+///
+/// Keys hash to one of [`MemoCache::SHARDS`] independently locked maps,
+/// so unrelated keys never contend. See the module docs for the
+/// coalescing contract.
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Entry<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        MemoCache::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for MemoCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        };
+        f.debug_struct("MemoCache").field("stats", &stats).finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
+    /// Number of independently locked shards.
+    pub const SHARDS: usize = 16;
+
+    /// An empty cache.
+    pub fn new() -> MemoCache<K, V> {
+        MemoCache {
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Entry<V>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached value for `key`, computing it with `f` on a
+    /// miss. Concurrent calls for the same key coalesce: exactly one
+    /// executes `f`, the rest wait and share its result. The returned
+    /// [`CacheOutcome`] says which path this call took.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics, the panic propagates to the computing caller;
+    /// waiters observe the poisoned flight and retry (one of them
+    /// becomes the new computer).
+    pub fn get_or_compute<F>(&self, key: K, f: F) -> (Arc<V>, CacheOutcome)
+    where
+        F: FnOnce() -> V,
+    {
+        let mut f = Some(f);
+        loop {
+            let flight = {
+                let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+                match shard.get(&key) {
+                    Some(Entry::Ready(v)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (v.clone(), CacheOutcome::Hit);
+                    }
+                    Some(Entry::InFlight(flight)) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        flight.clone()
+                    }
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        shard.insert(key.clone(), Entry::InFlight(flight.clone()));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        drop(shard);
+
+                        let mut guard =
+                            FlightGuard { cache: self, key: &key, flight: &flight, landed: false };
+                        let value = Arc::new((f.take().expect("closure available on miss"))());
+                        guard.landed = true;
+                        drop(guard);
+
+                        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+                        shard.insert(key.clone(), Entry::Ready(value.clone()));
+                        drop(shard);
+                        flight.finish(Some(value.clone()));
+                        return (value, CacheOutcome::Miss);
+                    }
+                }
+            };
+            if let Some(value) = flight.wait() {
+                return (value, CacheOutcome::Coalesced);
+            }
+            // The flight was poisoned (the computer panicked). If this
+            // call still owns its closure it can retry and compute;
+            // otherwise keep looping until some caller lands the value.
+        }
+    }
+
+    /// The cached value for `key`, if it has landed. Never waits on an
+    /// in-flight computation and does not count as a hit or miss.
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.get(key) {
+            Some(Entry::Ready(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of landed entries (in-flight computations excluded).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no entry has landed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn hit_after_miss_returns_shared_value() {
+        let cache: MemoCache<u32, String> = MemoCache::new();
+        let (a, oa) = cache.get_or_compute(1, || "one".to_string());
+        let (b, ob) = cache.get_or_compute(1, || unreachable!("must be cached"));
+        assert_eq!(oa, CacheOutcome::Miss);
+        assert_eq!(ob, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, coalesced: 0 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_compute_independently() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        for k in 0..100 {
+            let (v, o) = cache.get_or_compute(k, || k * 2);
+            assert_eq!(*v, k * 2);
+            assert_eq!(o, CacheOutcome::Miss);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.stats().misses, 100);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_compute_exactly_once() {
+        let cache: MemoCache<u32, u64> = MemoCache::new();
+        let computes = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let (v, _) = cache.get_or_compute(7, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Widen the in-flight window so the others
+                        // genuinely coalesce rather than all hitting.
+                        thread::sleep(std::time::Duration::from_millis(20));
+                        42
+                    });
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single flight computes once");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.total(), 8);
+    }
+
+    #[test]
+    fn poisoned_flight_lets_a_waiter_retry() {
+        let cache: Arc<MemoCache<u32, u32>> = Arc::new(MemoCache::new());
+        let attempts = Arc::new(AtomicUsize::new(0));
+
+        // First caller panics mid-flight; a concurrent caller must
+        // recover and land the value.
+        let c = cache.clone();
+        let a = attempts.clone();
+        let panicker = thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c.get_or_compute(3, || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("flight dies");
+                })
+            }));
+        });
+        // Give the panicker time to claim the flight, then pile on.
+        thread::sleep(std::time::Duration::from_millis(5));
+        let (v, _) = cache.get_or_compute(3, || {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            9
+        });
+        panicker.join().expect("panicker thread itself exits cleanly");
+        assert_eq!(*v, 9);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "poisoned flight retried once");
+        assert_eq!(*cache.peek(&3).expect("value landed"), 9);
+    }
+
+    #[test]
+    fn stats_deltas_subtract() {
+        let cache: MemoCache<u32, u32> = MemoCache::new();
+        cache.get_or_compute(1, || 1);
+        let before = cache.stats();
+        cache.get_or_compute(1, || 1);
+        cache.get_or_compute(2, || 2);
+        let delta = cache.stats().since(&before);
+        assert_eq!(delta, CacheStats { hits: 1, misses: 1, coalesced: 0 });
+        assert!((delta.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

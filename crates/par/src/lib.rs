@@ -15,7 +15,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod executor;
 pub mod spsc;
+
+pub use cache::{CacheOutcome, CacheStats, MemoCache};
+pub use executor::Executor;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

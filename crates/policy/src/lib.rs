@@ -56,6 +56,14 @@ pub enum PolicySpec {
 }
 
 impl PolicySpec {
+    /// The standard what-if arms a query service exposes: the power cap
+    /// that actually bites this workload (mean board power sits far
+    /// below TDP, so 250 W throttles nothing), co-sharing, and tier
+    /// routing. [`PolicySpec::Off`] is excluded — an off arm is two
+    /// identical baselines, not a what-if.
+    pub const STANDARD_ARMS: [PolicySpec; 3] =
+        [PolicySpec::PowerCap { cap_w: 150.0 }, PolicySpec::Coshare, PolicySpec::Tiered];
+
     /// Parses a CLI selector: `off`, `powercap:<watts>`, `coshare`, or
     /// `tiered`.
     pub fn parse(s: &str) -> Result<PolicySpec, String> {
@@ -120,6 +128,15 @@ mod tests {
             PolicySpec::PowerCap { cap_w: 250.0 }
         );
         assert_eq!(PolicySpec::parse("powercap:250").unwrap().label(), "powercap:250");
+    }
+
+    #[test]
+    fn standard_arm_labels_round_trip_through_parse() {
+        // Query tokens are built from labels, so every standard arm's
+        // label must parse back to the same spec.
+        for arm in PolicySpec::STANDARD_ARMS {
+            assert_eq!(PolicySpec::parse(&arm.label()).unwrap(), arm, "{}", arm.label());
+        }
     }
 
     #[test]

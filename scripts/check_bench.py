@@ -1,70 +1,112 @@
 #!/usr/bin/env python3
 """Gate CI on bench regressions.
 
-Compares a fresh `repro_figures --bench-json` report against the
-committed full-scale baseline (BENCH_repro.json). The smoke run uses a
-reduced --scale, so the baseline's total_secs is scaled by the job-count
-ratio before comparing; the gate fails when the smoke run is more than
-TOLERANCE times slower than that scaled expectation.
+Every suite this script can gate is described by one declarative table
+(GATES below): a list of (kind, metric, limit) rows applied to a flat
+metric dict extracted from that suite's artifact. Adding a gate is a
+one-line diff to the table, not a new flag-plus-function pair.
 
-The telemetry stage is additionally gated on throughput, not just
-total wall-clock: per-job synthesis cost is scale-invariant, so the
-smoke run's telemetry jobs/sec must stay within --tolerance of the
-baseline's. This is the regression gate for the streaming engine — a
-fallback to materialize-everything batch costs ~10x and trips it even
-through CI noise.
+Gate kinds:
 
-When both reports carry a measured `peak_rss_bytes` (repro_figures
-records the VmHWM high-water mark; 0 means "not measured"), the smoke
-run's peak RSS must not exceed --max-rss-ratio times the full-scale
-baseline's: streaming keeps memory at O(aggregate state), so a reduced
--scale run sitting above the full-scale high-water mark means series
-are being materialized again.
+  ceiling    metric <= limit
+  floor      metric >= limit
+  max_ratio  metric[0] / metric[1] <= limit
 
-With --placement, additionally parses the console log of
-`cargo bench --bench placement` (the offline criterion stand-in prints
-`  <id>  median <time> / iter ...` lines) and gates the co-sharing
-policy's placement overhead: the coshare median must stay within
---placement-overhead times the baseline median.
+A metric missing from the artifact fails its gate, so referencing a
+metric also asserts its presence (e.g. every serve mix must appear).
 
-With --streaming, parses the console log of
-`cargo bench --bench streaming` and requires every aggregator /
-channel / end-to-end bench to be present and under a generous absolute
-ceiling — an order-of-magnitude guard, not a jitter trap.
+Suites:
 
-usage: check_bench.py BASELINE SMOKE [--tolerance 2.0]
+  repro      BASELINE SMOKE positionals: a fresh `repro_figures
+             --bench-json` report against the committed full-scale
+             BENCH_repro.json. The smoke run uses a reduced --scale, so
+             the baseline's total_secs is scaled by the job-count ratio
+             (floored at MIN_EXPECTED_SECS — the gate is for
+             order-of-magnitude regressions, not scheduler jitter)
+             before applying --tolerance. The telemetry stage is also
+             gated on jobs/sec (scale-invariant), and peak RSS on
+             --max-rss-ratio times the baseline's high-water mark.
+  placement  --placement LOG: console log of `cargo bench --bench
+             placement`; bounds the co-sharing policy's placement
+             overhead relative to the baseline pass.
+  streaming  --streaming LOG: console log of `cargo bench --bench
+             streaming`; absolute ceilings per aggregator/channel bench.
+  serve      --serve JSON: a `serve_load` report; p99 latency ceilings
+             per mix, a throughput floor and hit-rate floor on the
+             cache-hit storm, and the >=10x storm-vs-cold speedup the
+             memoization layer exists to provide.
+
+--serve-compare FILE... additionally requires the response digests of
+two or more serve_load reports to be identical — the byte-level
+determinism check across thread budgets.
+
+--selftest runs every suite against the committed fixture pair in
+scripts/fixtures/ (one artifact that must pass, one that must trip the
+gates) and exits non-zero if any gate misjudges either. CI's lint job
+runs this, so the gate logic cannot rot silently.
+
+usage: check_bench.py [BASELINE SMOKE] [--tolerance 2.0]
                       [--max-rss-ratio 1.5]
-                      [--placement placement_bench.txt]
-                      [--placement-overhead 5.0]
-                      [--streaming streaming_bench.txt]
+                      [--placement LOG] [--placement-overhead 5.0]
+                      [--streaming LOG]
+                      [--serve JSON] [--serve-compare JSON JSON...]
+                      [--selftest]
 """
 
 import argparse
 import json
+import os
 import re
 import sys
+from collections import namedtuple
 
 # CI runners are noisy and a 2%-scale run finishes in about a second, so
-# very small expected times are floored before applying the multiplier:
-# the gate is for order-of-magnitude regressions, not scheduler jitter.
+# very small expected times are floored before applying the multiplier.
 MIN_EXPECTED_SECS = 2.0
+
+# One gate row: kind in {"ceiling", "floor", "max_ratio"}; metric is a
+# key into the suite's flat metric dict (a (numerator, denominator) key
+# pair for max_ratio).
+Gate = namedtuple("Gate", "kind metric limit")
+
+# Ceilings for the streaming-engine benches (seconds). Typical medians
+# are 20-100x below these; the gate exists to catch an aggregator or
+# channel falling off an algorithmic cliff, not scheduler jitter.
+STREAMING_GATES = [
+    Gate("ceiling", "sketch_push_merge_100k", 0.100),
+    Gate("ceiling", "welford_push_merge_100k", 0.050),
+    Gate("ceiling", "histogram_push_merge_100k", 0.050),
+    Gate("ceiling", "spsc_send_recv_100k", 0.100),
+    Gate("ceiling", "par_stream_order_10k", 0.005),
+    Gate("ceiling", "stream_detail_30min_2gpu", 0.010),
+]
+
+# Gates for a `serve_load` report. Latency ceilings are generous
+# absolutes (hits are microseconds, cold what-ifs re-simulate for
+# ~100 ms at smoke scale); the floors are where the teeth are: the
+# cache-hit storm must actually behave like a cache.
+SERVE_GATES = [
+    Gate("ceiling", "point_flood.p99_ms", 250.0),
+    Gate("ceiling", "cache_storm.p99_ms", 50.0),
+    Gate("ceiling", "steady.p99_ms", 250.0),
+    Gate("ceiling", "cold_ab.p99_ms", 30_000.0),
+    Gate("floor", "cache_storm.qps", 1_000.0),
+    Gate("floor", "cache_storm.hit_rate", 0.95),
+    Gate("floor", "steady.hit_rate", 0.95),
+    Gate("floor", "storm_speedup", 10.0),
+]
+
+
+def placement_gates(max_overhead):
+    """The placement suite's one gate, parameterized by the CLI knob."""
+    return [Gate("max_ratio",
+                 ("contended_pass_coshare", "contended_pass_baseline"),
+                 max_overhead)]
 
 
 # `  contended_pass_baseline   median 475.30 us / iter  (min ...)`
 MEDIAN_LINE = re.compile(r"^\s+(\S+)\s+median\s+([\d.]+)\s+(ns|us|ms|s)\s+/\s+iter")
 UNIT_SECS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
-
-# Ceilings for the streaming-engine benches (seconds). Typical medians
-# are 20-100x below these; the gate exists to catch an aggregator or
-# channel falling off an algorithmic cliff, not scheduler jitter.
-STREAMING_CEILINGS = {
-    "sketch_push_merge_100k": 0.100,
-    "welford_push_merge_100k": 0.050,
-    "histogram_push_merge_100k": 0.050,
-    "spsc_send_recv_100k": 0.100,
-    "par_stream_order_10k": 0.005,
-    "stream_detail_30min_2gpu": 0.010,
-}
 
 
 def parse_medians(path):
@@ -81,41 +123,6 @@ def parse_medians(path):
     return medians
 
 
-def check_placement(path, max_overhead):
-    medians = parse_medians(path)
-    for bench in ("contended_pass_baseline", "contended_pass_coshare"):
-        if bench not in medians:
-            sys.exit(f"check_bench: {path} has no '{bench}' median "
-                     f"(found: {sorted(medians)})")
-    base = medians["contended_pass_baseline"]
-    coshare = medians["contended_pass_coshare"]
-    overhead = coshare / base if base > 0 else float("inf")
-    print(f"placement: baseline {base * 1e6:.1f} us, coshare {coshare * 1e6:.1f} us "
-          f"({overhead:.2f}x, limit {max_overhead}x)")
-    if overhead > max_overhead:
-        sys.exit(
-            f"check_bench: FAIL — coshare placement pass is {overhead:.2f}x the "
-            f"baseline pass (limit {max_overhead}x)"
-        )
-
-
-def check_streaming(path):
-    medians = parse_medians(path)
-    failed = []
-    for bench, ceiling in sorted(STREAMING_CEILINGS.items()):
-        if bench not in medians:
-            sys.exit(f"check_bench: {path} has no '{bench}' median "
-                     f"(found: {sorted(medians)})")
-        median = medians[bench]
-        status = "ok" if median <= ceiling else "FAIL"
-        print(f"streaming: {bench:<28} {median * 1e6:10.1f} us "
-              f"(ceiling {ceiling * 1e6:.0f} us) {status}")
-        if median > ceiling:
-            failed.append(bench)
-    if failed:
-        sys.exit(f"check_bench: FAIL — streaming benches over ceiling: {failed}")
-
-
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
@@ -124,10 +131,179 @@ def load(path):
         sys.exit(f"check_bench: cannot read {path}: {exc}")
 
 
+def flatten_serve(report):
+    """A serve_load report as a flat metric dict (mix fields dotted)."""
+    metrics = {}
+    for key, value in report.items():
+        if key == "mixes":
+            for mix, fields in value.items():
+                for field, v in fields.items():
+                    metrics[f"{mix}.{field}"] = v
+        elif key == "cold_baseline":
+            for field, v in value.items():
+                metrics[f"cold_baseline.{field}"] = v
+        elif isinstance(value, (int, float)):
+            metrics[key] = value
+    return metrics
+
+
+def apply_gates(suite, metrics, gates):
+    """Applies one suite's gate table; returns failure descriptions."""
+    failures = []
+    for gate in gates:
+        keys = gate.metric if isinstance(gate.metric, tuple) else (gate.metric,)
+        missing = [k for k in keys if k not in metrics]
+        if missing:
+            failures.append(f"{suite}: metric {missing[0]!r} missing "
+                            f"(have: {sorted(metrics)})")
+            print(f"{suite}: {gate.metric} MISSING")
+            continue
+        if gate.kind == "ceiling":
+            value, ok = metrics[keys[0]], metrics[keys[0]] <= gate.limit
+            desc = f"{keys[0]} = {value:g} (ceiling {gate.limit:g})"
+        elif gate.kind == "floor":
+            value, ok = metrics[keys[0]], metrics[keys[0]] >= gate.limit
+            desc = f"{keys[0]} = {value:g} (floor {gate.limit:g})"
+        elif gate.kind == "max_ratio":
+            num, den = metrics[keys[0]], metrics[keys[1]]
+            value = num / den if den > 0 else float("inf")
+            ok = value <= gate.limit
+            desc = (f"{keys[0]} / {keys[1]} = {value:.2f}x "
+                    f"(limit {gate.limit:g}x)")
+        else:
+            raise AssertionError(f"unknown gate kind {gate.kind!r}")
+        print(f"{suite}: {desc} {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"{suite}: {desc}")
+    return failures
+
+
+def check_serve(path):
+    report = load(path)
+    failures = apply_gates("serve", flatten_serve(report), SERVE_GATES)
+    if "digest" not in report:
+        failures.append(f"serve: {path} has no response digest")
+    return failures
+
+
+def check_serve_compare(paths):
+    digests = {}
+    for path in paths:
+        report = load(path)
+        digests[path] = report.get("digest", "<missing>")
+        threads = report.get("threads", "?")
+        print(f"serve-compare: {path} (threads {threads}) "
+              f"digest {digests[path]}")
+    if len(set(digests.values())) != 1 or "<missing>" in digests.values():
+        return [f"serve-compare: response digests diverge across runs: "
+                f"{digests} — responses are no longer thread-budget "
+                f"independent"]
+    return []
+
+
+def check_repro(baseline_path, smoke_path, tolerance, max_rss_ratio):
+    base = load(baseline_path)
+    smoke = load(smoke_path)
+    for report, path in ((base, baseline_path), (smoke, smoke_path)):
+        for key in ("jobs", "total_secs"):
+            if key not in report:
+                sys.exit(f"check_bench: {path} has no '{key}' field")
+
+    failures = []
+    ratio = smoke["jobs"] / base["jobs"]
+    expected = max(base["total_secs"] * ratio, MIN_EXPECTED_SECS)
+    print(f"repro: baseline {base['total_secs']:.2f} s for {base['jobs']} jobs")
+    print(f"repro: smoke    {smoke['total_secs']:.2f} s for {smoke['jobs']} "
+          f"jobs (ratio {ratio:.4f})")
+    for name, stage in smoke.get("stages", {}).items():
+        print(f"  stage {name:<16} {stage['secs']:8.3f} s")
+
+    metrics = {
+        "total_secs": smoke["total_secs"],
+        "peak_rss_bytes": smoke.get("peak_rss_bytes", 0),
+    }
+    gates = [Gate("ceiling", "total_secs", expected * tolerance)]
+    # Telemetry jobs/sec is scale-invariant, so the smoke run must hold
+    # the baseline's rate within tolerance. This is the regression gate
+    # for the streaming engine — a fallback to materialize-everything
+    # batch costs ~10x and trips it even through CI noise.
+    base_tel = base.get("stages", {}).get("telemetry")
+    smoke_tel = smoke.get("stages", {}).get("telemetry")
+    if base_tel and smoke_tel:
+        metrics["telemetry.jobs_per_sec"] = smoke_tel["jobs_per_sec"]
+        gates.append(Gate("floor", "telemetry.jobs_per_sec",
+                          base_tel["jobs_per_sec"] / tolerance))
+    # Peak-RSS ceiling: streaming keeps memory at O(aggregate state), so
+    # a reduced-scale run above the full-scale high-water mark means
+    # series are being materialized again. 0 means "not measured".
+    if base.get("peak_rss_bytes", 0) > 0 and metrics["peak_rss_bytes"] > 0:
+        gates.append(Gate("ceiling", "peak_rss_bytes",
+                          base["peak_rss_bytes"] * max_rss_ratio))
+    failures += apply_gates("repro", metrics, gates)
+    return failures
+
+
+def fixture(name):
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures", name)
+
+
+def selftest():
+    """Every suite judged against its committed pass/fail fixtures."""
+    cases = [
+        ("serve pass", lambda: check_serve(fixture("serve_pass.json")), True),
+        ("serve fail", lambda: check_serve(fixture("serve_fail.json")), False),
+        ("serve-compare pass",
+         lambda: check_serve_compare([fixture("serve_pass.json"),
+                                      fixture("serve_pass.json")]), True),
+        ("serve-compare fail",
+         lambda: check_serve_compare([fixture("serve_pass.json"),
+                                      fixture("serve_fail.json")]), False),
+        ("streaming pass",
+         lambda: apply_gates("streaming",
+                             parse_medians(fixture("streaming_pass.txt")),
+                             STREAMING_GATES), True),
+        ("streaming fail",
+         lambda: apply_gates("streaming",
+                             parse_medians(fixture("streaming_fail.txt")),
+                             STREAMING_GATES), False),
+        ("placement pass",
+         lambda: apply_gates("placement",
+                             parse_medians(fixture("placement_pass.txt")),
+                             placement_gates(5.0)), True),
+        ("placement fail",
+         lambda: apply_gates("placement",
+                             parse_medians(fixture("placement_fail.txt")),
+                             placement_gates(5.0)), False),
+        ("repro pass",
+         lambda: check_repro(fixture("repro_baseline.json"),
+                             fixture("repro_smoke_pass.json"), 2.0, 1.5),
+         True),
+        ("repro fail",
+         lambda: check_repro(fixture("repro_baseline.json"),
+                             fixture("repro_smoke_fail.json"), 2.0, 1.5),
+         False),
+    ]
+    wrong = []
+    for name, run, expect_pass in cases:
+        print(f"--- selftest: {name}")
+        passed = not run()
+        verdict = "ok" if passed == expect_pass else "WRONG VERDICT"
+        print(f"--- selftest: {name}: "
+              f"{'passed' if passed else 'failed'} as "
+              f"{'expected' if passed == expect_pass else 'NOT expected'} "
+              f"[{verdict}]")
+        if passed != expect_pass:
+            wrong.append(name)
+    if wrong:
+        sys.exit(f"check_bench: SELFTEST FAIL — gates misjudged: {wrong}")
+    print(f"check_bench: selftest OK ({len(cases)} fixture cases)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", help="committed BENCH_repro.json")
-    ap.add_argument("smoke", help="fresh --bench-json output")
+    ap.add_argument("baseline", nargs="?", help="committed BENCH_repro.json")
+    ap.add_argument("smoke", nargs="?", help="fresh --bench-json output")
     ap.add_argument(
         "--tolerance",
         type=float,
@@ -147,82 +323,68 @@ def main():
         help="console log of `cargo bench --bench placement` to gate",
     )
     ap.add_argument(
-        "--streaming",
-        metavar="LOG",
-        help="console log of `cargo bench --bench streaming` to gate",
-    )
-    ap.add_argument(
         "--placement-overhead",
         type=float,
         default=5.0,
         help="fail when the coshare placement pass exceeds the baseline "
         "pass by this factor (typical is ~1.5x)",
     )
+    ap.add_argument(
+        "--streaming",
+        metavar="LOG",
+        help="console log of `cargo bench --bench streaming` to gate",
+    )
+    ap.add_argument(
+        "--serve",
+        metavar="JSON",
+        help="serve_load report to gate (latency ceilings, throughput and "
+        "hit-rate floors, storm speedup)",
+    )
+    ap.add_argument(
+        "--serve-compare",
+        metavar="JSON",
+        nargs="+",
+        help="two or more serve_load reports whose response digests must "
+        "be identical (thread-budget determinism)",
+    )
+    ap.add_argument(
+        "--selftest",
+        action="store_true",
+        help="judge every suite against its committed scripts/fixtures/ "
+        "pass/fail pair and exit non-zero on any wrong verdict",
+    )
     args = ap.parse_args()
 
+    if args.selftest:
+        selftest()
+        return
+    if args.baseline and not args.smoke:
+        ap.error("BASELINE given without SMOKE")
+
+    failures = []
     if args.placement:
-        check_placement(args.placement, args.placement_overhead)
+        failures += apply_gates("placement", parse_medians(args.placement),
+                                placement_gates(args.placement_overhead))
     if args.streaming:
-        check_streaming(args.streaming)
+        failures += apply_gates("streaming", parse_medians(args.streaming),
+                                STREAMING_GATES)
+    if args.serve:
+        failures += check_serve(args.serve)
+    if args.serve_compare:
+        failures += check_serve_compare(args.serve_compare)
+    if args.baseline:
+        failures += check_repro(args.baseline, args.smoke, args.tolerance,
+                                args.max_rss_ratio)
+    if not (args.placement or args.streaming or args.serve
+            or args.serve_compare or args.baseline):
+        ap.error("nothing to do: give BASELINE SMOKE, a suite flag, "
+                 "or --selftest")
 
-    base = load(args.baseline)
-    smoke = load(args.smoke)
-    for report, path in ((base, args.baseline), (smoke, args.smoke)):
-        for key in ("jobs", "total_secs"):
-            if key not in report:
-                sys.exit(f"check_bench: {path} has no '{key}' field")
-
-    ratio = smoke["jobs"] / base["jobs"]
-    expected = max(base["total_secs"] * ratio, MIN_EXPECTED_SECS)
-    limit = expected * args.tolerance
-    total = smoke["total_secs"]
-
-    print(f"baseline: {base['total_secs']:.2f} s for {base['jobs']} jobs")
-    print(f"smoke:    {total:.2f} s for {smoke['jobs']} jobs (ratio {ratio:.4f})")
-    print(f"expected: {expected:.2f} s scaled, limit {limit:.2f} s "
-          f"(tolerance {args.tolerance}x)")
-    for name, stage in smoke.get("stages", {}).items():
-        print(f"  stage {name:<16} {stage['secs']:8.3f} s")
-
-    if total > limit:
-        sys.exit(
-            f"check_bench: FAIL — smoke total {total:.2f} s exceeds "
-            f"{limit:.2f} s ({total / expected:.1f}x the scaled baseline)"
-        )
-
-    # Per-stage telemetry throughput floor: jobs/sec is scale-invariant,
-    # so the smoke run must hold the baseline's rate within tolerance.
-    base_tel = base.get("stages", {}).get("telemetry")
-    smoke_tel = smoke.get("stages", {}).get("telemetry")
-    if base_tel and smoke_tel:
-        floor = base_tel["jobs_per_sec"] / args.tolerance
-        rate = smoke_tel["jobs_per_sec"]
-        print(f"telemetry: {rate:.0f} jobs/sec "
-              f"(baseline {base_tel['jobs_per_sec']:.0f}, floor {floor:.0f})")
-        if rate < floor:
-            sys.exit(
-                f"check_bench: FAIL — telemetry stage at {rate:.0f} jobs/sec, "
-                f"below the {floor:.0f} floor ({args.tolerance}x under the "
-                f"baseline's {base_tel['jobs_per_sec']:.0f})"
-            )
-
-    # Peak-RSS ceiling: a reduced-scale streaming run must stay under
-    # the full-scale high-water mark (times the ratio); 0 means the
-    # platform could not measure, so the gate is skipped.
-    base_rss = base.get("peak_rss_bytes", 0)
-    smoke_rss = smoke.get("peak_rss_bytes", 0)
-    if base_rss > 0 and smoke_rss > 0:
-        limit_rss = base_rss * args.max_rss_ratio
-        print(f"peak RSS: smoke {smoke_rss / 2**20:.1f} MiB, baseline "
-              f"{base_rss / 2**20:.1f} MiB (limit {limit_rss / 2**20:.1f} MiB)")
-        if smoke_rss > limit_rss:
-            sys.exit(
-                f"check_bench: FAIL — smoke peak RSS {smoke_rss / 2**20:.1f} MiB "
-                f"exceeds {args.max_rss_ratio}x the full-scale baseline "
-                f"({base_rss / 2**20:.1f} MiB): series are being materialized"
-            )
-
-    print(f"check_bench: OK — {total / expected:.2f}x the scaled baseline")
+    if failures:
+        for f in failures:
+            print(f"check_bench: FAIL — {f}", file=sys.stderr)
+        sys.exit(f"check_bench: {len(failures)} gate(s) failed")
+    print("check_bench: OK")
 
 
 if __name__ == "__main__":

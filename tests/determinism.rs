@@ -342,6 +342,89 @@ fn golden_ingest_ledger_matches_committed_bytes() {
     );
 }
 
+/// One query service over a 1%-scale world at the current thread
+/// budget. `threads` sizes both the sc_par pool consulted during the
+/// build and the request executor.
+fn build_service(threads: usize) -> std::sync::Arc<Service> {
+    std::sync::Arc::new(Service::build(ServeConfig {
+        scale: 0.01,
+        seed: 13,
+        threads,
+        users_floor: 32,
+        ..ServeConfig::default()
+    }))
+}
+
+/// The serving layer under the same rule: every response on the
+/// standard query surface — points, figures, policy A/B arms,
+/// data-quality what-ifs — must be byte-identical between a 1-thread
+/// and an N-thread service (the CI matrix sweeps N over 1, 4, 8 via
+/// `SC_PAR_THREADS`), and byte-identical between the cold (uncached),
+/// warm (cache hit), and executor-submitted paths of the same service.
+/// The query trace digest the CI serve leg compares across runs is
+/// exactly the fold of these bytes, so it is asserted too.
+#[test]
+fn served_responses_are_deterministic_across_thread_budgets() {
+    use sc_repro::serve::Digest;
+
+    let serve_all = |svc: &std::sync::Arc<Service>| -> (Vec<String>, String) {
+        let mut digest = Digest::new();
+        let bodies: Vec<String> = Query::standard_queries()
+            .into_iter()
+            .map(|q| {
+                let body = svc.submit(q).wait().response.body;
+                digest.update(body.as_bytes());
+                (*body).clone()
+            })
+            .collect();
+        (bodies, digest.hex())
+    };
+
+    let saved = sc_repro::par::current_threads();
+    sc_repro::par::set_max_threads(1);
+    let one = build_service(1);
+    let (bodies_one, digest_one) = serve_all(&one);
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let alt = build_service(alt_thread_budget());
+    let (bodies_alt, digest_alt) = serve_all(&alt);
+    sc_repro::par::set_max_threads(saved);
+
+    assert_eq!(bodies_one.len(), bodies_alt.len());
+    for ((q, a), b) in Query::standard_queries().iter().zip(&bodies_one).zip(&bodies_alt) {
+        assert_eq!(a, b, "response for {} must not depend on the thread budget", q.token());
+    }
+    assert_eq!(digest_one, digest_alt, "query-trace digest must not depend on the thread budget");
+
+    // Cold, warm, and submitted answers of one service agree byte for
+    // byte: the cache can only change latency, never content.
+    for q in Query::standard_queries() {
+        let cold = alt.query_uncached(&q);
+        let warm = alt.query_blocking(&q);
+        assert_eq!(cold, warm.body, "cold and warm bytes for {} must agree", q.token());
+    }
+}
+
+/// Single-flight coalescing: concurrent identical requests for an
+/// uncached heavy query must produce exactly one computation — every
+/// other request waits for that flight or hits the filled cache — and
+/// all of them the same bytes.
+#[test]
+fn concurrent_identical_queries_coalesce_onto_one_computation() {
+    let svc = build_service(4);
+    // A policy A/B arm re-simulates the trace twice, so the flight is
+    // slow enough that the concurrent submissions genuinely overlap.
+    let q = Query::parse("ab:coshare").expect("valid token");
+    let before = svc.cache_stats();
+    let pending: Vec<_> = (0..8).map(|_| svc.submit(q)).collect();
+    let bodies: Vec<_> = pending.into_iter().map(|p| p.wait().response.body).collect();
+    let delta = svc.cache_stats().since(&before);
+    assert_eq!(delta.misses, 1, "one flight computes, the rest share: {delta:?}");
+    assert_eq!(delta.hits + delta.coalesced, 7, "{delta:?}");
+    for b in &bodies {
+        assert_eq!(b, &bodies[0], "coalesced responses must share bytes");
+    }
+}
+
 /// The failure subsystem under the same rule: the pre-computed failure
 /// schedule, every requeue decision (job fates), the goodput ledger,
 /// and the rendered figures must be byte-identical between a 1-thread
