@@ -1,8 +1,8 @@
 //! Seeded load generator for the `sc-serve` query service.
 //!
 //! ```text
-//! serve_load [--scale F] [--seed N] [--threads N] [--requests N]
-//!            [--out BENCH_serve.json] [--trace FILE]
+//! serve_load [--scenario NAME|FILE] [--scale F] [--seed N] [--threads N]
+//!            [--requests N] [--out BENCH_serve.json] [--trace FILE]
 //! ```
 //!
 //! Builds one frozen-world [`Service`], then drives four request mixes
@@ -23,7 +23,10 @@
 //! digest in submission order; because responses are pure functions of
 //! `(scenario, seed, query)`, the digest is byte-stable across thread
 //! budgets, cache states, and request interleavings — CI compares runs
-//! by this one hex string.
+//! by this one hex string. `--scenario` swaps the world under the same
+//! harness: the service's cache keys gain the parsed scenario's hash
+//! as a dimension, and the reported `scenario` label records exactly
+//! which world the digest describes.
 //!
 //! The report (per-mix p50/p95/p99 latency, throughput, cache
 //! hit-rate; cold baseline; storm speedup) prints to stdout as JSON
@@ -39,6 +42,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
+    scenario: Option<sc_scenario::Scenario>,
     scale: f64,
     seed: u64,
     threads: Option<usize>,
@@ -47,9 +51,15 @@ struct Args {
     trace: Option<String>,
 }
 
-const USAGE: &str = "usage: serve_load [--scale F] [--seed N] [--threads N] [--requests N]
-                  [--out FILE] [--trace FILE]
+const USAGE: &str = "usage: serve_load [--scenario NAME|FILE] [--scale F] [--seed N]
+                  [--threads N] [--requests N] [--out FILE] [--trace FILE]
 
+  --scenario S   build the world from a scenario preset or TOML file
+                 (presets: supercloud|philly|nersc|in2p3; default: the
+                 flag-driven Supercloud world). The parsed scenario's
+                 hash becomes a cache-key dimension and the report's
+                 scenario label, so digests from different scenario
+                 files never compare equal.
   --scale F      scale the simulated workload by F (default 0.02)
   --seed N       master RNG seed for the world and the query streams
                  (default 42)
@@ -72,14 +82,28 @@ fn fail(msg: &str) -> ! {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { scale: 0.02, seed: 42, threads: None, requests: 200, out: None, trace: None };
+    let mut args = Args {
+        scenario: None,
+        scale: 0.02,
+        seed: 42,
+        threads: None,
+        requests: 200,
+        out: None,
+        trace: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
         };
         match flag.as_str() {
+            "--scenario" => {
+                let spec = value("--scenario");
+                args.scenario = Some(
+                    sc_scenario::Scenario::load(&spec)
+                        .unwrap_or_else(|e| usage_error(&format!("--scenario {spec}: {e}"))),
+                );
+            }
             "--scale" => {
                 args.scale = value("--scale")
                     .parse()
@@ -240,6 +264,7 @@ fn peak_rss_bytes() -> u64 {
 #[allow(clippy::too_many_arguments)]
 fn report_json(
     args: &Args,
+    scenario: &str,
     threads: usize,
     build_secs: f64,
     mixes: &[MixReport],
@@ -249,6 +274,7 @@ fn report_json(
     digest_hex: &str,
 ) -> String {
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"scale\": {},\n", args.scale));
     out.push_str(&format!("  \"seed\": {},\n", args.seed));
@@ -307,9 +333,10 @@ fn main() {
         seed: args.seed,
         threads,
         tracing: args.trace.is_some(),
+        scenario: args.scenario.clone(),
         ..ServeConfig::default()
     }));
-    eprintln!("world frozen in {:.2}s; serving", svc.build_secs());
+    eprintln!("world frozen in {:.2}s; serving {}", svc.build_secs(), svc.scenario());
 
     let mut digest = Digest::new();
     let mut mixes = Vec::with_capacity(4);
@@ -358,6 +385,7 @@ fn main() {
 
     let json = report_json(
         &args,
+        svc.scenario(),
         threads,
         svc.build_secs(),
         &mixes,

@@ -23,6 +23,7 @@ pub use sc_obs as obs;
 pub use sc_opportunity as opportunity;
 pub use sc_par as par;
 pub use sc_policy as policy;
+pub use sc_scenario as scenario;
 pub use sc_serve as serve;
 pub use sc_stats as stats;
 pub use sc_telemetry as telemetry;
@@ -44,6 +45,7 @@ pub mod prelude {
     pub use sc_policy::{
         CosharePolicy, PolicyExperiment, PolicySpec, PowerCapPolicy, TieredPolicy,
     };
+    pub use sc_scenario::{CrossSystemFig, ErrorKind, Scenario, ScenarioError};
     pub use sc_serve::{Query, ServeConfig, Service};
     pub use sc_stats::{BoxStats, Ecdf, Lorenz};
     pub use sc_telemetry::{

@@ -1,0 +1,197 @@
+//! The cross-system comparison figure: N scenarios, one pipeline run
+//! each, one table of headline metrics side by side.
+//!
+//! The paper compares Supercloud against Microsoft's Philly clusters
+//! in passing (Sec. V: single-GPU shares, queue waits). The scenario
+//! DSL generalizes that move: any set of presets — the committed four
+//! span an AI supercomputer, a batch DNN cluster, an HPC centre, and
+//! a HEP grid site — runs through the identical simulator and figure
+//! pipeline, so every difference in the table is attributable to the
+//! declared scenario, not to methodology drift.
+
+use crate::scenario::Scenario;
+use sc_cluster::Simulation;
+use sc_core::gpu_views;
+use sc_stats::Ecdf;
+use sc_workload::{LifecycleClass, Trace};
+
+/// One system's headline metrics.
+#[derive(Debug, Clone)]
+pub struct SystemRow {
+    /// Scenario name.
+    pub name: String,
+    /// Arrival-process label.
+    pub arrivals: String,
+    /// Jobs generated at this scale.
+    pub jobs: usize,
+    /// Total GPUs in the cluster.
+    pub total_gpus: u32,
+    /// Peak GPUs in use over the run.
+    pub peak_gpus_in_use: u32,
+    /// Total GPU hours delivered.
+    pub gpu_hours: f64,
+    /// Median GPU-job run time, minutes (Fig. 3a).
+    pub median_runtime_min: f64,
+    /// Median GPU-job queue wait, seconds (Fig. 3b).
+    pub median_wait_secs: f64,
+    /// Median SM utilization % (Fig. 4).
+    pub median_sm_util: f64,
+    /// Share of GPU jobs on exactly one GPU (Fig. 13a).
+    pub single_gpu_share: f64,
+    /// Share of jobs in the mature lifecycle class (Fig. 15a).
+    pub mature_share: f64,
+}
+
+/// The comparison across all requested scenarios.
+#[derive(Debug, Clone)]
+pub struct CrossSystemFig {
+    /// Workload scale every system ran at.
+    pub scale: f64,
+    /// Master seed every system ran at.
+    pub seed: u64,
+    /// One row per scenario, in input order.
+    pub rows: Vec<SystemRow>,
+}
+
+/// Median of a non-empty iterator, 0.0 when empty.
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    match Ecdf::new(values.collect()) {
+        Ok(e) => e.median(),
+        Err(_) => 0.0,
+    }
+}
+
+impl CrossSystemFig {
+    /// Runs every scenario through the full pipeline at a common
+    /// `scale` and `seed` and collects the headline metrics.
+    ///
+    /// The metrics are computed straight from the analyzed GPU-job
+    /// views rather than through the full figure pipeline: a scenario
+    /// at smoke scale may lack whole populations (no IDE jobs, no
+    /// 9-GPU jobs) that the per-figure comparisons require, and a
+    /// missing population should read as a 0% share here, not a
+    /// pipeline failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"<scenario>: no analyzed GPU jobs"` when a scenario's
+    /// trace produces nothing to compare (scale far too small).
+    pub fn run(scenarios: &[Scenario], scale: f64, seed: u64) -> Result<Self, String> {
+        let mut rows = Vec::with_capacity(scenarios.len());
+        for sc in scenarios {
+            let spec = sc.scaled_spec(scale);
+            let trace = Trace::generate(&spec, seed);
+            let config = sc.sim_config(scale, seed);
+            let total_gpus = config.cluster.total_gpus();
+            let out = Simulation::new(config).run(&trace);
+            let views = gpu_views(&out.dataset);
+            if views.is_empty() {
+                return Err(format!("{}: no analyzed GPU jobs", sc.name));
+            }
+            let total = views.len() as f64;
+            let single = views.iter().filter(|v| v.sched.gpus_requested <= 1).count() as f64;
+            let mature = views.iter().filter(|v| v.class == LifecycleClass::Mature).count() as f64;
+            rows.push(SystemRow {
+                name: sc.name.clone(),
+                arrivals: sc.arrivals.label().to_string(),
+                jobs: trace.jobs().len(),
+                total_gpus,
+                peak_gpus_in_use: out.stats.peak_gpus_in_use,
+                gpu_hours: out.stats.gpu_hours,
+                median_runtime_min: median(views.iter().map(|v| v.run_minutes())),
+                median_wait_secs: median(views.iter().map(|v| v.sched.queue_wait())),
+                median_sm_util: median(views.iter().map(|v| v.agg.sm_util.mean)),
+                single_gpu_share: single / total,
+                mature_share: mature / total,
+            });
+        }
+        Ok(CrossSystemFig { scale, seed, rows })
+    }
+
+    /// Renders the comparison table (deterministic text).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("================ cross-system comparison ================\n");
+        out.push_str(&format!(
+            "{} systems at scale {}, seed {}\n\n",
+            self.rows.len(),
+            self.scale,
+            self.seed
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>6} {:>8} {:>10} {:>9} {:>9} {:>7} {:>7} {:>7}  {}\n",
+            "system",
+            "jobs",
+            "GPUs",
+            "peakGPU",
+            "GPU-hours",
+            "run p50m",
+            "wait p50s",
+            "SM p50%",
+            "1-GPU%",
+            "mature%",
+            "arrivals"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>6} {:>8} {:>10.1} {:>9.1} {:>9.1} {:>7.1} {:>7.1} {:>7.1}  {}\n",
+                r.name,
+                r.jobs,
+                r.total_gpus,
+                r.peak_gpus_in_use,
+                r.gpu_hours,
+                r.median_runtime_min,
+                r.median_wait_secs,
+                r.median_sm_util,
+                r.single_gpu_share * 100.0,
+                r.mature_share * 100.0,
+                r.arrivals
+            ));
+        }
+        out
+    }
+
+    /// Renders the peak-occupancy comparison as an SVG bar chart.
+    pub fn to_svg(&self) -> String {
+        let bars: Vec<(String, f64)> = self
+            .rows
+            .iter()
+            .map(|r| {
+                (r.name.clone(), 100.0 * r.peak_gpus_in_use as f64 / (r.total_gpus as f64).max(1.0))
+            })
+            .collect();
+        sc_core::svg::bar_chart("Cross-system peak GPU occupancy", "peak GPUs in use, %", &bars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_system_smoke_run() {
+        let scenarios = [
+            Scenario::preset("supercloud").expect("preset"),
+            Scenario::preset("philly").expect("preset"),
+        ];
+        let fig = CrossSystemFig::run(&scenarios, 0.01, 42).expect("smoke scale suffices");
+        assert_eq!(fig.rows.len(), 2);
+        let text = fig.render();
+        assert!(text.contains("supercloud"), "{text}");
+        assert!(text.contains("philly"), "{text}");
+        // Philly skews single-GPU harder than Supercloud.
+        assert!(fig.rows[1].single_gpu_share > fig.rows[0].single_gpu_share);
+        let svg = fig.to_svg();
+        assert!(svg.contains("<svg"), "svg header");
+        assert!(svg.contains("philly"), "bar labels");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let scenarios = [Scenario::preset("supercloud").expect("preset")];
+        let a = CrossSystemFig::run(&scenarios, 0.01, 7).expect("runs");
+        let b = CrossSystemFig::run(&scenarios, 0.01, 7).expect("runs");
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_svg(), b.to_svg());
+    }
+}

@@ -1,0 +1,108 @@
+//! Typed scenario errors: every failure carries the 1-based source
+//! line and the `[section] key` context it occurred at, so a bad
+//! scenario file is a one-glance fix instead of a stack trace.
+
+/// What went wrong while parsing or validating a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The TOML subset grammar was violated (bad section header,
+    /// missing `=`, unterminated string, malformed number, …).
+    Syntax(String),
+    /// A section appeared twice.
+    DuplicateSection,
+    /// A key appeared twice within one section.
+    DuplicateKey,
+    /// The section is not part of the scenario schema.
+    UnknownSection,
+    /// The key is not part of its section's schema.
+    UnknownKey,
+    /// The value has the wrong type for its key.
+    Type {
+        /// What the schema expects (`string`, `number`, `integer`, …).
+        expected: &'static str,
+        /// What the file actually contains.
+        found: String,
+    },
+    /// The value parsed but fails a range or consistency check.
+    Range(String),
+    /// The value names an unknown variant of an enumerated field; the
+    /// message lists the accepted names.
+    UnknownName(String),
+    /// A required section or key is absent.
+    Missing(String),
+    /// The scenario file could not be read.
+    Io(String),
+}
+
+/// A parse or validation failure, located in the source text.
+///
+/// `line` is 1-based; 0 means the error concerns the document as a
+/// whole (e.g. a missing required section). `context` is the
+/// `[section] key` path when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based source line, or 0 for whole-document errors.
+    pub line: usize,
+    /// `[section] key`, `[section]`, or empty when not applicable.
+    pub context: String,
+    /// The failure itself.
+    pub kind: ErrorKind,
+}
+
+impl ScenarioError {
+    /// Builds an error at `line` with the given context path.
+    pub fn new(line: usize, context: impl Into<String>, kind: ErrorKind) -> Self {
+        ScenarioError { line, context: context.into(), kind }
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        if !self.context.is_empty() {
+            write!(f, "{}: ", self.context)?;
+        }
+        match &self.kind {
+            ErrorKind::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            ErrorKind::DuplicateSection => write!(f, "section appears twice"),
+            ErrorKind::DuplicateKey => write!(f, "key appears twice"),
+            ErrorKind::UnknownSection => write!(f, "unknown section"),
+            ErrorKind::UnknownKey => write!(f, "unknown key"),
+            ErrorKind::Type { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ErrorKind::Range(msg) => write!(f, "out of range: {msg}"),
+            ErrorKind::UnknownName(msg) => write!(f, "unknown value: {msg}"),
+            ErrorKind::Missing(what) => write!(f, "missing {what}"),
+            ErrorKind::Io(msg) => write!(f, "cannot read scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_context() {
+        let e = ScenarioError::new(
+            12,
+            "[arrivals] process",
+            ErrorKind::UnknownName("weekly (expected poisson|diurnal|spikes|up-and-down)".into()),
+        );
+        let text = e.to_string();
+        assert!(text.contains("line 12"), "{text}");
+        assert!(text.contains("[arrivals] process"), "{text}");
+        assert!(text.contains("weekly"), "{text}");
+    }
+
+    #[test]
+    fn document_level_errors_omit_line() {
+        let e = ScenarioError::new(0, "", ErrorKind::Missing("section [scenario]".into()));
+        assert_eq!(e.to_string(), "missing section [scenario]");
+    }
+}

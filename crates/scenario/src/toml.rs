@@ -1,0 +1,402 @@
+//! A minimal TOML-subset parser for scenario files.
+//!
+//! The subset is exactly what the scenario schema needs, no more:
+//!
+//! - `[section]` headers with bare names (`[a-zA-Z0-9_-]+`);
+//! - `key = value` pairs inside a section, one per line;
+//! - values: double-quoted strings (`\\`, `\"`, `\n`, `\t` escapes),
+//!   booleans, integers (`_` separators allowed), floats (decimal or
+//!   exponent form), and single-line arrays of values — including
+//!   arrays of arrays for `(count, weight)` mix tables;
+//! - `#` comments (full-line or trailing) and blank lines.
+//!
+//! Everything else — multi-line arrays, dotted keys, inline tables,
+//! dates — is rejected with a [`ScenarioError`] carrying the 1-based
+//! line, never a panic. Duplicate sections and duplicate keys are
+//! errors too: a scenario where the last write silently wins is a
+//! scenario that lies.
+
+use crate::error::{ErrorKind, ScenarioError};
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A double-quoted string, unescaped.
+    String(String),
+    /// An integer (fits the schema's counts and seeds).
+    Integer(i64),
+    /// A float (decimal point or exponent present in the source).
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line `[ ... ]` array.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::String(_) => "string",
+            TomlValue::Integer(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` pair, with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlEntry {
+    /// Bare key name.
+    pub key: String,
+    /// 1-based source line of the pair.
+    pub line: usize,
+    /// The parsed value.
+    pub value: TomlValue,
+}
+
+/// One `[section]` with its entries, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlSection {
+    /// Bare section name.
+    pub name: String,
+    /// 1-based source line of the header.
+    pub line: usize,
+    /// The section's pairs, in file order.
+    pub entries: Vec<TomlEntry>,
+}
+
+/// A parsed document: sections in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlDoc {
+    /// The document's sections.
+    pub sections: Vec<TomlSection>,
+}
+
+impl TomlDoc {
+    /// The section named `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&TomlSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+fn is_bare(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::new(line, "", ErrorKind::Syntax(msg.into()))
+}
+
+/// Parses a scenario document.
+///
+/// # Errors
+///
+/// Returns the first grammar violation as a [`ScenarioError`] with its
+/// 1-based line; malformed input never panics.
+pub fn parse(text: &str) -> Result<TomlDoc, ScenarioError> {
+    let mut doc = TomlDoc::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            // Reject `[[array-of-tables]]` explicitly (a nested-array
+            // *value* never starts a line).
+            if rest.starts_with('[') {
+                return Err(syntax(line_no, "array-of-tables headers are not supported"));
+            }
+            let close = rest
+                .find(']')
+                .ok_or_else(|| syntax(line_no, "unterminated section header (missing ']')"))?;
+            let name = &rest[..close];
+            if name.is_empty() || !name.chars().all(is_bare) {
+                return Err(syntax(line_no, format!("bad section name {name:?}")));
+            }
+            let tail = rest[close + 1..].trim();
+            if !tail.is_empty() && !tail.starts_with('#') {
+                return Err(syntax(line_no, format!("unexpected text after [{name}]: {tail:?}")));
+            }
+            if doc.section(name).is_some() {
+                return Err(ScenarioError::new(
+                    line_no,
+                    format!("[{name}]"),
+                    ErrorKind::DuplicateSection,
+                ));
+            }
+            doc.sections.push(TomlSection {
+                name: name.to_string(),
+                line: line_no,
+                entries: vec![],
+            });
+            continue;
+        }
+        // A key/value pair. Keys are bare, so the first `=` splits.
+        let eq = line
+            .find('=')
+            .ok_or_else(|| syntax(line_no, "expected `[section]` or `key = value`"))?;
+        let key = line[..eq].trim();
+        if key.is_empty() || !key.chars().all(is_bare) {
+            return Err(syntax(line_no, format!("bad key name {key:?}")));
+        }
+        let section = doc.sections.last_mut().ok_or_else(|| {
+            ScenarioError::new(
+                line_no,
+                key,
+                ErrorKind::Syntax("key outside any [section]".to_string()),
+            )
+        })?;
+        if section.entries.iter().any(|e| e.key == key) {
+            return Err(ScenarioError::new(
+                line_no,
+                format!("[{}] {key}", section.name),
+                ErrorKind::DuplicateKey,
+            ));
+        }
+        let mut cursor = Cursor { chars: line[eq + 1..].char_indices().peekable(), line: line_no };
+        let value = cursor.value()?;
+        cursor.expect_end()?;
+        section.entries.push(TomlEntry { key: key.to_string(), line: line_no, value });
+    }
+    Ok(doc)
+}
+
+/// A character cursor over one line's value text.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    /// After a value: only whitespace or a trailing comment may remain.
+    fn expect_end(&mut self) -> Result<(), ScenarioError> {
+        self.skip_ws();
+        match self.chars.peek() {
+            None | Some((_, '#')) => Ok(()),
+            Some((_, c)) => Err(syntax(self.line, format!("unexpected {c:?} after value"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<TomlValue, ScenarioError> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            None | Some((_, '#')) => Err(syntax(self.line, "missing value after `=`")),
+            Some((_, '"')) => self.string(),
+            Some((_, '[')) => self.array(),
+            Some(_) => self.scalar(),
+        }
+    }
+
+    fn string(&mut self) -> Result<TomlValue, ScenarioError> {
+        self.chars.next(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err(syntax(self.line, "unterminated string")),
+                Some((_, '"')) => return Ok(TomlValue::String(out)),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, c)) => {
+                        return Err(syntax(self.line, format!("unsupported escape \\{c}")))
+                    }
+                    None => return Err(syntax(self.line, "unterminated string")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<TomlValue, ScenarioError> {
+        self.chars.next(); // opening bracket
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.peek().copied() {
+                None => return Err(syntax(self.line, "unterminated array (missing ']')")),
+                Some((_, ']')) => {
+                    self.chars.next();
+                    return Ok(TomlValue::Array(items));
+                }
+                Some(_) => {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.chars.peek().copied() {
+                        Some((_, ',')) => {
+                            self.chars.next();
+                        }
+                        Some((_, ']')) | None => {}
+                        Some((_, c)) => {
+                            return Err(syntax(
+                                self.line,
+                                format!("expected `,` or `]` in array, found {c:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<TomlValue, ScenarioError> {
+        let mut token = String::new();
+        while let Some((_, c)) = self.chars.peek().copied() {
+            if c.is_whitespace() || c == ',' || c == ']' || c == '#' {
+                break;
+            }
+            token.push(c);
+            self.chars.next();
+        }
+        match token.as_str() {
+            "true" => return Ok(TomlValue::Bool(true)),
+            "false" => return Ok(TomlValue::Bool(false)),
+            _ => {}
+        }
+        // Numbers: TOML `_` separators are allowed between digits; the
+        // float/integer split follows the source form.
+        let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+        let is_float = cleaned.contains(['.', 'e', 'E']);
+        if is_float {
+            match cleaned.parse::<f64>() {
+                Ok(v) if v.is_finite() => return Ok(TomlValue::Float(v)),
+                Ok(_) => {
+                    return Err(syntax(self.line, format!("non-finite number {token:?}")));
+                }
+                Err(_) => {}
+            }
+        } else if let Ok(v) = cleaned.parse::<i64>() {
+            return Ok(TomlValue::Integer(v));
+        }
+        Err(syntax(self.line, format!("bad value {token:?}")))
+    }
+}
+
+/// Serializes one value in canonical form (floats via `{:?}`, which
+/// round-trips `f64` exactly).
+pub fn render_value(v: &TomlValue, out: &mut String) {
+    match v {
+        TomlValue::String(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        TomlValue::Integer(i) => out.push_str(&i.to_string()),
+        TomlValue::Float(f) => out.push_str(&format!("{f:?}")),
+        TomlValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        TomlValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = parse(
+            "# header comment\n\
+             [scenario]\n\
+             name = \"demo\" # trailing comment\n\
+             seed = 1_000\n\
+             scale = 0.5\n\
+             flag = true\n\
+             days = [28.0, 97.0]\n\
+             mix = [[1, 116.0], [2, 13.0]]\n",
+        )
+        .expect("valid doc");
+        let s = doc.section("scenario").expect("section");
+        assert_eq!(s.entries.len(), 6);
+        assert_eq!(s.entries[0].value, TomlValue::String("demo".into()));
+        assert_eq!(s.entries[1].value, TomlValue::Integer(1000));
+        assert_eq!(s.entries[2].value, TomlValue::Float(0.5));
+        assert_eq!(s.entries[3].value, TomlValue::Bool(true));
+        assert_eq!(
+            s.entries[4].value,
+            TomlValue::Array(vec![TomlValue::Float(28.0), TomlValue::Float(97.0)])
+        );
+        match &s.entries[5].value {
+            TomlValue::Array(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("expected nested array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_the_line() {
+        let err = parse("[a]\nx = 1\ny 2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse("[a]\nx = \"unterminated\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_section_and_key_rejected() {
+        let err = parse("[a]\n[a]\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateSection);
+        assert_eq!(err.line, 2);
+        let err = parse("[a]\nx = 1\nx = 2\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateKey);
+        assert_eq!(err.context, "[a] x");
+    }
+
+    #[test]
+    fn key_outside_section_rejected() {
+        let err = parse("x = 1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn exotic_toml_rejected_not_panicked() {
+        for bad in [
+            "[[tables]]\n",
+            "[a]\nx = 1979-05-27\n",
+            "[a]\nx = { y = 1 }\n",
+            "[a]\nx = [1,\n2]\n",
+            "[a]\nx = nan\n",
+            "[a]\nx = inf\n",
+            "[a.b]\nx = 1\n",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn values_render_back_exactly() {
+        let text = "[s]\nf = 0.55\ng = 1e-9\nn = -3\nb = false\na = [1.5, 2.5]\n";
+        let doc = parse(text).expect("valid");
+        for entry in &doc.section("s").expect("s").entries {
+            let mut rendered = String::new();
+            render_value(&entry.value, &mut rendered);
+            let reparsed = parse(&format!("[s]\nk = {rendered}\n")).expect("round-trip");
+            assert_eq!(reparsed.sections[0].entries[0].value, entry.value, "{rendered}");
+        }
+    }
+}

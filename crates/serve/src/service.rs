@@ -30,6 +30,7 @@ use sc_obs::stagelog::StageSpan;
 use sc_obs::{Obs, SharedCounter, StageLog};
 use sc_par::{CacheOutcome, CacheStats, Executor, MemoCache};
 use sc_policy::PolicyExperiment;
+use sc_scenario::Scenario;
 use sc_telemetry::corruption::DataQualityProfile;
 use sc_workload::{Trace, WorkloadSpec};
 use std::sync::{mpsc, Arc};
@@ -53,6 +54,12 @@ pub struct ServeConfig {
     /// Record a wall-clock stage span per computed response (feeds the
     /// Chrome trace exporter; off keeps the hot path allocation-free).
     pub tracing: bool,
+    /// Build the world from a declarative scenario instead of the
+    /// flag-default Supercloud pipeline. The scenario's parsed hash
+    /// becomes a cache-key dimension, so two services built from
+    /// different scenario files never share memoized bytes even when
+    /// their names collide.
+    pub scenario: Option<Scenario>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +71,7 @@ impl Default for ServeConfig {
             cache: true,
             users_floor: 64,
             tracing: false,
+            scenario: None,
         }
     }
 }
@@ -157,16 +165,29 @@ impl Service {
     /// state built here.
     pub fn build(config: ServeConfig) -> Service {
         let t0 = Instant::now();
-        let mut spec = WorkloadSpec::supercloud().scaled(config.scale);
+        // A declarative scenario supplies the spec and sim config; the
+        // default path stays byte-for-byte what it was before scenarios
+        // existed (and keeps its historical cache-key label).
+        let (mut spec, sim_config, scenario) = match &config.scenario {
+            Some(sc) => (
+                sc.scaled_spec(config.scale),
+                sc.sim_config(config.scale, config.seed),
+                format!("{}#{:016x}:s{}", sc.name, sc.hash(), config.scale),
+            ),
+            None => {
+                let spec = WorkloadSpec::supercloud().scaled(config.scale);
+                // Same detailed-subset scaling rule as `repro_figures`, so a
+                // served figure matches the batch tool's at equal scale/seed.
+                let detailed = ((2_149.0 * config.scale).round() as usize).max(50);
+                let sim_config =
+                    SimConfig { detailed_series_jobs: detailed, ..SimConfig::default() };
+                (spec, sim_config, format!("supercloud:s{}", config.scale))
+            }
+        };
         spec.users = spec.users.max(config.users_floor);
         let trace = Trace::generate(&spec, config.seed);
-        // Same detailed-subset scaling rule as `repro_figures`, so a
-        // served figure matches the batch tool's at equal scale/seed.
-        let detailed = ((2_149.0 * config.scale).round() as usize).max(50);
-        let sim_config = SimConfig { detailed_series_jobs: detailed, ..SimConfig::default() };
         let out = Simulation::new(sim_config.clone()).run(&trace);
         let threads = if config.threads == 0 { sc_par::current_threads() } else { config.threads };
-        let scenario = format!("supercloud:s{}", config.scale);
         Service {
             scenario,
             trace,
@@ -181,7 +202,8 @@ impl Service {
         }
     }
 
-    /// Scenario descriptor (`supercloud:s<scale>`).
+    /// Scenario descriptor: `supercloud:s<scale>` for the flag-default
+    /// world, `<name>#<hash>:s<scale>` for a scenario-built one.
     pub fn scenario(&self) -> &str {
         &self.scenario
     }
@@ -426,6 +448,49 @@ mod tests {
         assert_eq!(s.query_blocking(&q).outcome, CacheOutcome::Miss);
         assert_eq!(s.query_blocking(&q).outcome, CacheOutcome::Miss);
         assert_eq!(s.metrics().misses.get(), 2);
+    }
+
+    #[test]
+    fn supercloud_scenario_serves_default_bytes_under_a_hashed_key() {
+        // The supercloud preset IS the flag default, so response bodies
+        // must match byte-for-byte; only the cache-key scenario label
+        // differs (scenario worlds are hash-addressed, the default
+        // world keeps its historical label).
+        let base =
+            ServeConfig { scale: 0.0001, users_floor: 1, threads: 1, ..ServeConfig::default() };
+        let default_svc = Service::build(base.clone());
+        let sc = Scenario::preset("supercloud").expect("preset");
+        let hash = sc.hash();
+        let scen_svc = Service::build(ServeConfig { scenario: Some(sc), ..base });
+        assert_eq!(default_svc.scenario(), "supercloud:s0.0001");
+        assert_eq!(scen_svc.scenario(), format!("supercloud#{hash:016x}:s0.0001"));
+        for q in [Query::Point(PointStat::TotalGpuHours), Query::Figure(FigureId::Fig3)] {
+            assert_eq!(
+                default_svc.query_blocking(&q).body,
+                scen_svc.query_blocking(&q).body,
+                "{}",
+                q.token()
+            );
+            assert_ne!(default_svc.key(&q), scen_svc.key(&q), "{}", q.token());
+        }
+    }
+
+    #[test]
+    fn different_scenarios_never_share_cache_keys() {
+        let base =
+            ServeConfig { scale: 0.0001, users_floor: 1, threads: 1, ..ServeConfig::default() };
+        let philly = Service::build(ServeConfig {
+            scenario: Some(Scenario::preset("philly").expect("preset")),
+            ..base.clone()
+        });
+        let nersc = Service::build(ServeConfig {
+            scenario: Some(Scenario::preset("nersc").expect("preset")),
+            ..base
+        });
+        let q = Query::Point(PointStat::JobsAnalyzed);
+        assert_ne!(philly.key(&q), nersc.key(&q));
+        assert!(philly.scenario().starts_with("philly#"), "{}", philly.scenario());
+        assert!(nersc.scenario().starts_with("nersc#"), "{}", nersc.scenario());
     }
 
     #[test]

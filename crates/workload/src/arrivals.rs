@@ -5,7 +5,7 @@
 //! popular deep learning conferences like ICML and NeurIPS … We account
 //! for this effect in our analysis" (Sec. II).
 
-use crate::spec::WorkloadSpec;
+use crate::spec::{ArrivalProcess, WorkloadSpec};
 use rand::Rng;
 use sc_stats::dist::{Exponential, Sample};
 use serde::{Deserialize, Serialize};
@@ -20,6 +20,7 @@ pub struct ArrivalIntensity {
     diurnal_amplitude: f64,
     surge_amplitude: f64,
     deadline_days: Vec<f64>,
+    process: ArrivalProcess,
 }
 
 impl ArrivalIntensity {
@@ -30,6 +31,7 @@ impl ArrivalIntensity {
             diurnal_amplitude: spec.diurnal_amplitude,
             surge_amplitude: spec.deadline_surge_amplitude,
             deadline_days: spec.deadline_days.clone(),
+            process: spec.arrival_process,
         }
     }
 
@@ -37,26 +39,53 @@ impl ArrivalIntensity {
     /// profile; not normalized exactly but bounded by
     /// [`ArrivalIntensity::max_intensity`]).
     pub fn intensity(&self, t: f64) -> f64 {
-        let day_frac = (t / DAY_SECS).fract();
-        // Activity peaks mid-afternoon, troughs pre-dawn.
-        let diurnal =
-            1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
-        // Gaussian surge ramping up over ~10 days before each deadline.
         let day = t / DAY_SECS;
-        let mut surge = 1.0;
-        for &d in &self.deadline_days {
-            let lead = d - day;
-            if (0.0..=21.0).contains(&lead) {
-                surge += self.surge_amplitude * (-((lead - 2.0) / 5.0).powi(2)).exp();
+        match self.process {
+            ArrivalProcess::Poisson => 1.0,
+            ArrivalProcess::Diurnal => {
+                let day_frac = (t / DAY_SECS).fract();
+                // Activity peaks mid-afternoon, troughs pre-dawn.
+                let diurnal = 1.0
+                    + self.diurnal_amplitude
+                        * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
+                // Gaussian surge ramping up over ~10 days before each
+                // deadline.
+                let mut surge = 1.0;
+                for &d in &self.deadline_days {
+                    let lead = d - day;
+                    if (0.0..=21.0).contains(&lead) {
+                        surge += self.surge_amplitude * (-((lead - 2.0) / 5.0).powi(2)).exp();
+                    }
+                }
+                diurnal * surge
+            }
+            ArrivalProcess::Spikes { period_days, width_days, amplitude } => {
+                // One Gaussian bump per period, centred mid-cycle so a
+                // spike never straddles the window edges.
+                let phase = (day / period_days).fract() * period_days;
+                let centre = period_days / 2.0;
+                1.0 + amplitude * (-((phase - centre) / width_days).powi(2)).exp()
+            }
+            ArrivalProcess::UpAndDown { period_days, low } => {
+                if (day / period_days).fract() < 0.5 {
+                    1.0
+                } else {
+                    low
+                }
             }
         }
-        diurnal * surge
     }
 
     /// Upper bound on [`ArrivalIntensity::intensity`] for rejection
     /// sampling.
     pub fn max_intensity(&self) -> f64 {
-        (1.0 + self.diurnal_amplitude) * (1.0 + self.surge_amplitude)
+        match self.process {
+            ArrivalProcess::Poisson | ArrivalProcess::UpAndDown { .. } => 1.0,
+            ArrivalProcess::Diurnal => {
+                (1.0 + self.diurnal_amplitude) * (1.0 + self.surge_amplitude)
+            }
+            ArrivalProcess::Spikes { amplitude, .. } => 1.0 + amplitude,
+        }
     }
 
     /// Draws one arrival time from the normalized intensity via
@@ -202,5 +231,70 @@ mod tests {
         let i = intensity();
         let mut rng = StdRng::seed_from_u64(4);
         let _ = i.sample_burst_arrivals(&mut rng, 10, 0.5);
+    }
+
+    fn with_process(process: crate::spec::ArrivalProcess) -> ArrivalIntensity {
+        let mut spec = crate::spec::WorkloadSpec::supercloud();
+        spec.arrival_process = process;
+        ArrivalIntensity::from_spec(&spec)
+    }
+
+    #[test]
+    fn poisson_intensity_is_flat() {
+        let i = with_process(crate::spec::ArrivalProcess::Poisson);
+        for k in 0..500 {
+            let t = k as f64 / 500.0 * i.duration_secs();
+            assert_eq!(i.intensity(t), 1.0);
+        }
+        assert_eq!(i.max_intensity(), 1.0);
+    }
+
+    #[test]
+    fn spikes_peak_once_per_period() {
+        let i = with_process(crate::spec::ArrivalProcess::Spikes {
+            period_days: 10.0,
+            width_days: 1.0,
+            amplitude: 3.0,
+        });
+        // Mid-cycle (day 5, 15, ...) is the spike centre; cycle edges
+        // sit at the base load.
+        assert!(i.intensity(5.0 * DAY_SECS) > 3.9);
+        assert!(i.intensity(15.0 * DAY_SECS) > 3.9);
+        assert!(i.intensity(0.1 * DAY_SECS) < 1.01);
+        assert!(i.max_intensity() >= i.intensity(5.0 * DAY_SECS));
+    }
+
+    #[test]
+    fn up_and_down_alternates_plateaus() {
+        let i =
+            with_process(crate::spec::ArrivalProcess::UpAndDown { period_days: 8.0, low: 0.25 });
+        assert_eq!(i.intensity(1.0 * DAY_SECS), 1.0); // high half
+        assert_eq!(i.intensity(5.0 * DAY_SECS), 0.25); // low half
+        assert_eq!(i.intensity(9.0 * DAY_SECS), 1.0); // next cycle
+        assert_eq!(i.max_intensity(), 1.0);
+    }
+
+    #[test]
+    fn diurnal_process_matches_legacy_formula() {
+        // The Diurnal arm must reproduce the paper-calibrated process
+        // bit for bit — the scenario DSL's byte-identity guarantee for
+        // the default pipeline rests on this.
+        let spec = crate::spec::WorkloadSpec::supercloud();
+        let i = ArrivalIntensity::from_spec(&spec);
+        for k in 0..2000 {
+            let t = k as f64 / 2000.0 * i.duration_secs();
+            let day_frac = (t / DAY_SECS).fract();
+            let diurnal = 1.0
+                + spec.diurnal_amplitude * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
+            let day = t / DAY_SECS;
+            let mut surge = 1.0;
+            for &d in &spec.deadline_days {
+                let lead = d - day;
+                if (0.0..=21.0).contains(&lead) {
+                    surge += spec.deadline_surge_amplitude * (-((lead - 2.0) / 5.0).powi(2)).exp();
+                }
+            }
+            assert_eq!(i.intensity(t), diurnal * surge, "t={t}");
+        }
     }
 }

@@ -83,6 +83,59 @@ impl std::fmt::Display for LifecycleClass {
 /// Multi-GPU size distribution (Fig. 13a): `(gpu_count, weight)` pairs.
 pub type GpuCountMix = Vec<(u32, f64)>;
 
+/// The shape of the job-arrival intensity over the trace window.
+///
+/// [`ArrivalProcess::Diurnal`] is the paper's calibrated process
+/// (time-of-day rhythm times conference-deadline surges) and the
+/// default everywhere; the other variants open the scenario space the
+/// DSL needs — a memoryless baseline, periodic spike bursts, and
+/// up-and-down load cycles in the spirit of the cloud-simulator
+/// exemplar scenarios.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals: constant intensity, no rhythm.
+    Poisson,
+    /// The calibrated non-homogeneous process: diurnal rhythm modulated
+    /// by deadline surges ([`WorkloadSpec::diurnal_amplitude`],
+    /// [`WorkloadSpec::deadline_surge_amplitude`],
+    /// [`WorkloadSpec::deadline_days`]).
+    #[default]
+    Diurnal,
+    /// Periodic spike bursts riding on a flat base load: every
+    /// `period_days` the intensity ramps through a Gaussian bump of
+    /// relative height `amplitude` and width `width_days`.
+    Spikes {
+        /// Days between successive spike centres (> 0).
+        period_days: f64,
+        /// Gaussian width of one spike, days (> 0).
+        width_days: f64,
+        /// Spike height relative to the base intensity (>= 0).
+        amplitude: f64,
+    },
+    /// Alternating high/low load plateaus: the first half of every
+    /// `period_days` cycle runs at full intensity, the second half at
+    /// `low` times it — workload cycles with planned quiet windows.
+    UpAndDown {
+        /// Days per high+low cycle (> 0).
+        period_days: f64,
+        /// Relative intensity of the low plateau, in (0, 1].
+        low: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short display label (`poisson`, `diurnal`, `spikes`,
+    /// `up-and-down`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Diurnal => "diurnal",
+            ArrivalProcess::Spikes { .. } => "spikes",
+            ArrivalProcess::UpAndDown { .. } => "up-and-down",
+        }
+    }
+}
+
 /// The complete generative specification of one cluster's workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -171,6 +224,10 @@ pub struct WorkloadSpec {
     /// Days (since trace start) of conference deadlines within the
     /// 125-day window.
     pub deadline_days: Vec<f64>,
+    /// Shape of the arrival intensity. [`ArrivalProcess::Diurnal`]
+    /// reproduces the paper's calibrated process exactly; the other
+    /// variants are scenario-DSL extensions.
+    pub arrival_process: ArrivalProcess,
 }
 
 impl WorkloadSpec {
@@ -269,6 +326,7 @@ impl WorkloadSpec {
             deadline_surge_amplitude: 1.1,
             // ICML-like and NeurIPS-like deadlines inside the window.
             deadline_days: vec![28.0, 97.0],
+            arrival_process: ArrivalProcess::Diurnal,
         }
     }
 

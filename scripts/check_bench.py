@@ -34,11 +34,16 @@ Suites:
   serve      --serve JSON: a `serve_load` report; p99 latency ceilings
              per mix, a throughput floor and hit-rate floor on the
              cache-hit storm, and the >=10x storm-vs-cold speedup the
-             memoization layer exists to provide.
+             memoization layer exists to provide. The report must also
+             carry the `scenario` label (the service's cache-key
+             dimension) and the response `digest`.
 
 --serve-compare FILE... additionally requires the response digests of
 two or more serve_load reports to be identical — the byte-level
-determinism check across thread budgets.
+determinism check across thread budgets. Digests are only comparable
+within one world, so the reports' `scenario` labels must agree too: a
+digest match across different scenarios would be vacuous, and a label
+mismatch means the runs were not measuring the same thing.
 
 --selftest runs every suite against the committed fixture pair in
 scripts/fixtures/ (one artifact that must pass, one that must trip the
@@ -84,7 +89,11 @@ STREAMING_GATES = [
 # Gates for a `serve_load` report. Latency ceilings are generous
 # absolutes (hits are microseconds, cold what-ifs re-simulate for
 # ~100 ms at smoke scale); the floors are where the teeth are: the
-# cache-hit storm must actually behave like a cache.
+# cache-hit storm must actually behave like a cache. The gate table is
+# scenario-independent — every world must clear the same floors because
+# a cache hit costs the same regardless of which scenario built the
+# frozen state — but check_serve separately requires the `scenario`
+# label so a report always records which world its digest describes.
 SERVE_GATES = [
     Gate("ceiling", "point_flood.p99_ms", 250.0),
     Gate("ceiling", "cache_storm.p99_ms", 50.0),
@@ -183,22 +192,36 @@ def check_serve(path):
     failures = apply_gates("serve", flatten_serve(report), SERVE_GATES)
     if "digest" not in report:
         failures.append(f"serve: {path} has no response digest")
+    if "scenario" not in report:
+        failures.append(f"serve: {path} has no scenario label — the "
+                        f"report no longer records which world (cache-key "
+                        f"dimension) its digest describes")
     return failures
 
 
 def check_serve_compare(paths):
     digests = {}
+    scenarios = {}
     for path in paths:
         report = load(path)
         digests[path] = report.get("digest", "<missing>")
+        scenarios[path] = report.get("scenario", "<missing>")
         threads = report.get("threads", "?")
-        print(f"serve-compare: {path} (threads {threads}) "
-              f"digest {digests[path]}")
+        print(f"serve-compare: {path} (threads {threads}, "
+              f"scenario {scenarios[path]}) digest {digests[path]}")
+    failures = []
+    # Digests are only comparable within one world: a mismatch in the
+    # scenario labels means the runs measured different frozen states,
+    # so even an accidental digest match would prove nothing.
+    if len(set(scenarios.values())) != 1:
+        failures.append(f"serve-compare: scenario labels diverge across "
+                        f"runs: {scenarios} — digests are only comparable "
+                        f"within one scenario world")
     if len(set(digests.values())) != 1 or "<missing>" in digests.values():
-        return [f"serve-compare: response digests diverge across runs: "
-                f"{digests} — responses are no longer thread-budget "
-                f"independent"]
-    return []
+        failures.append(f"serve-compare: response digests diverge across "
+                        f"runs: {digests} — responses are no longer "
+                        f"thread-budget independent")
+    return failures
 
 
 def check_repro(baseline_path, smoke_path, tolerance, max_rss_ratio):
@@ -259,6 +282,14 @@ def selftest():
         ("serve-compare fail",
          lambda: check_serve_compare([fixture("serve_pass.json"),
                                       fixture("serve_fail.json")]), False),
+        ("serve scenario pass",
+         lambda: check_serve(fixture("serve_scenario_pass.json")), True),
+        ("serve scenario fail",
+         lambda: check_serve(fixture("serve_scenario_fail.json")), False),
+        ("serve-compare scenario mismatch",
+         lambda: check_serve_compare([fixture("serve_pass.json"),
+                                      fixture("serve_scenario_pass.json")]),
+         False),
         ("streaming pass",
          lambda: apply_gates("streaming",
                              parse_medians(fixture("streaming_pass.txt")),

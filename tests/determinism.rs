@@ -342,6 +342,36 @@ fn golden_ingest_ledger_matches_committed_bytes() {
     );
 }
 
+const GOLDEN_SCENARIO_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+
+/// Golden scenario summaries: the rendered summary of each committed
+/// preset — name, content hash, cluster/workload/arrivals/failure
+/// lines — must match the committed bytes exactly. The summary hash is
+/// the serve cache-key dimension, so an unintentional drift here means
+/// previously cached responses silently stop being addressable. Any
+/// intentional change to a preset or to the summary format must
+/// regenerate (run `scripts/update_golden.sh`, or set
+/// `SC_REGEN_GOLDEN=1` and rerun) and justify the diff in review.
+#[test]
+fn golden_scenario_summaries_match_committed_bytes() {
+    for name in Scenario::preset_names() {
+        let sc = Scenario::preset(name).expect("embedded preset parses");
+        let rendered = sc.render_summary();
+        let path = format!("{GOLDEN_SCENARIO_DIR}/scenario_{name}.txt");
+        if std::env::var("SC_REGEN_GOLDEN").is_ok() {
+            std::fs::write(&path, &rendered).expect("write golden scenario summary");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("golden summary committed at {path}: {e}"));
+        assert_eq!(
+            rendered, golden,
+            "scenario summary for {name} diverges from golden; regenerate with \
+             scripts/update_golden.sh if intentional"
+        );
+    }
+}
+
 /// One query service over a 1%-scale world at the current thread
 /// budget. `threads` sizes both the sc_par pool consulted during the
 /// build and the request executor.
