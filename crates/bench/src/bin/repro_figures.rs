@@ -8,8 +8,9 @@
 //!               [--failure-profile off|supercloud|stress|transient]
 //!               [--mtbf FACTOR]
 //!               [--trace FILE] [--trace-level off|spans|events]
-//!               [--policy off|powercap:WATTS|coshare|tiered]
+//!               [--policy off|powercap:WATTS|coshare|coshare-predicted|tiered]
 //!               [--data-quality off|supercloud|lossy|hostile]
+//!               [--classify] [--classifier-json FILE]
 //! ```
 //!
 //! With no arguments this runs the full 125-day / 74,820-job Supercloud
@@ -32,6 +33,16 @@
 //! four presets) through the identical pipeline at a common scale and
 //! seed and appends the side-by-side comparison.
 //!
+//! `--classify` trains the `sc-learn` workload-archetype classifier on
+//! the generated trace — streamed feature extraction, seeded decision
+//! forest, deterministic train/test split — and prints the
+//! confusion-matrix report (`classifier_confusion.svg` with
+//! `--svg-dir`). `--policy coshare-predicted` closes the loop: the A/B
+//! harness routes co-sharing on *predicted* labels and runs a third
+//! oracle-label arm, so the report shows what classifier error costs
+//! in goodput and queue wait. `--classifier-json` writes the gate
+//! metrics `scripts/check_bench.py --classifier` consumes.
+//!
 //! `--trace FILE` streams the simulator's deterministic sim-time trace
 //! (submit/start/finish/fault/kill/requeue, attempt and node-down
 //! spans) as JSONL into FILE, plus a `FILE.chrome.json` sidecar of
@@ -41,10 +52,11 @@
 //! supplies a default when neither flag is present.
 
 use sc_cluster::{FailureModel, SimConfig, Simulation};
-use sc_core::{AnalysisReport, DataQualityFig, DatasetReport};
+use sc_core::{AnalysisReport, ClassifierFig, DataQualityFig, DatasetReport};
+use sc_learn::{ArchetypePredictor, ClassifierConfig};
 use sc_obs::{chrome_trace_json, JsonlSink, Obs, StageLog, TraceLevel, TraceSink};
 use sc_opportunity::{CheckpointConfig, OpportunityReport};
-use sc_policy::{PolicyExperiment, PolicySpec};
+use sc_policy::{ExperimentResult, PolicyExperiment, PolicySpec};
 use sc_scenario::{CrossSystemFig, Scenario};
 use sc_telemetry::DataQualityProfile;
 use sc_workload::{Trace, WorkloadSpec};
@@ -64,6 +76,8 @@ struct Args {
     trace_level: Option<String>,
     policy: Option<PolicySpec>,
     data_quality: Option<DataQualityProfile>,
+    classify: bool,
+    classifier_json: Option<String>,
 }
 
 const USAGE: &str = "usage: repro_figures [--scenario NAME|FILE] [--cross-system all|LIST]
@@ -72,8 +86,9 @@ const USAGE: &str = "usage: repro_figures [--scenario NAME|FILE] [--cross-system
                      [--failure-profile off|supercloud|stress|transient]
                      [--mtbf FACTOR]
                      [--trace FILE] [--trace-level off|spans|events]
-                     [--policy off|powercap:WATTS|coshare|tiered]
+                     [--policy off|powercap:WATTS|coshare|coshare-predicted|tiered]
                      [--data-quality off|supercloud|lossy|hostile]
+                     [--classify] [--classifier-json FILE]
 
   --scenario S         drive the pipeline from a scenario preset or TOML
                        file (presets: supercloud|philly|nersc|in2p3).
@@ -109,7 +124,15 @@ const USAGE: &str = "usage: repro_figures [--scenario NAME|FILE] [--cross-system
   --data-quality P     corrupt the recorded dataset with collection-fault
                        profile P, run the hardened ingest repair, and report
                        recovered-vs-clean headline deltas plus the repair
-                       ledger; off (default) skips the stage entirely";
+                       ledger; off (default) skips the stage entirely
+  --classify           train the workload-archetype classifier on the
+                       generated trace and print the confusion-matrix
+                       report (classifier_confusion.svg with --svg-dir);
+                       a scenario's [classifier] section enables this too
+  --classifier-json F  write classifier gate metrics (accuracy, split
+                       sizes, predicted-vs-oracle goodput delta when
+                       --policy coshare-predicted ran) as JSON to F;
+                       implies --classify";
 
 /// Prints an error plus the usage text and exits with status 2, the
 /// conventional bad-usage code.
@@ -134,6 +157,8 @@ fn parse_args() -> Args {
         trace_level: None,
         policy: None,
         data_quality: None,
+        classify: false,
+        classifier_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -217,6 +242,8 @@ fn parse_args() -> Args {
                     ))
                 }));
             }
+            "--classify" => args.classify = true,
+            "--classifier-json" => args.classifier_json = Some(value("--classifier-json")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -327,6 +354,24 @@ fn bench_json(threads: usize, scale: f64, seed: u64, jobs: usize, stages: &[Stag
     out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
     out.push_str(&format!("  \"total_secs\": {total:.6},\n"));
     out.push_str(&format!("  \"total_jobs_per_sec\": {:.1}\n", jobs as f64 / total.max(1e-9)));
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the classifier gate metrics by hand, like [`bench_json`]:
+/// five scalars do not warrant a serialization dependency.
+/// `goodput_delta_pp` is `null` unless the `coshare-predicted` policy
+/// harness ran its oracle arm alongside.
+fn classifier_json(fig: &ClassifierFig, policy: Option<&ExperimentResult>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"accuracy\": {:.6},\n", fig.accuracy));
+    out.push_str(&format!("  \"centroid_accuracy\": {:.6},\n", fig.centroid_accuracy));
+    out.push_str(&format!("  \"train_jobs\": {},\n", fig.train_count));
+    out.push_str(&format!("  \"test_jobs\": {},\n", fig.test_count));
+    match policy.and_then(|r| r.predicted_vs_oracle_goodput_pp()) {
+        Some(pp) => out.push_str(&format!("  \"goodput_delta_pp\": {pp:.6}\n")),
+        None => out.push_str("  \"goodput_delta_pp\": null\n"),
+    }
     out.push_str("}\n");
     out
 }
@@ -558,6 +603,39 @@ outcomes are held to the offline models' predictions by \
 `tests/policy_acceptance.rs`, and byte-level determinism across thread \
 budgets by `tests/determinism.rs`.\n";
 
+/// The workload-classification section of the generated report: the
+/// archetype ground truth, the streamed feature extraction, and the
+/// closed predicted-label loop.
+const CLASSIFIER_METHODOLOGY: &str = "\n## Workload classification\n\n\
+The paper characterizes what jobs *do* (utilization waves, phase \
+structure, ramps — Secs. IV/VII); recognizing what a job *is* from \
+that telemetry is the natural next step. Every synthesized GPU job \
+carries a hidden ground-truth archetype — `cnn-periodic` (epoch \
+waves), `transformer-plateau` (long saturated plateaus), `bursty-dev` \
+(short irregular bursts), `idle-heavy` (open-but-idle sessions) — \
+whose telemetry signature both the batch and the streaming samplers \
+honor bit-identically. `sc-learn` folds each job's first hour of \
+`[sm, mem, mem_size]` ticks into a 14-wide feature vector through the \
+same one-pass `Util3Sink` interface the telemetry engine uses (the \
+streamed fold is proptest-pinned bit-identical to batch \
+recomputation), then trains a from-scratch seeded decision forest \
+against a nearest-centroid baseline on a hash-split train/test \
+partition. Dataset subsampling, the split, and tree bagging all hash \
+off per-job `truth_seed`s, so the confusion matrix below is \
+byte-identical at any `SC_PAR_THREADS` budget (a committed golden \
+render pins it).\n\n\
+`--policy coshare-predicted` closes the loop: the co-sharing gate \
+routes on *predicted* labels, and a third oracle-label arm (same \
+gating rule, ground-truth labels) isolates what classifier error \
+costs — the predicted-vs-oracle goodput delta is gated in CI by \
+`scripts/check_bench.py --classifier`, alongside the accuracy floor. \
+Reproduce with:\n\n\
+```text\n\
+repro_figures --classify --svg-dir figs          # confusion matrix + SVG\n\
+repro_figures --policy coshare-predicted         # three-arm A/B\n\
+repro_figures --classify --classifier-json c.json # CI gate metrics\n\
+```\n";
+
 /// The cross-system section of the generated report: the scenario DSL
 /// and the comparison methodology.
 const CROSS_SYSTEM: &str = "\n## Cross-system comparison methodology\n\n\
@@ -611,6 +689,15 @@ fn main() {
     let data_quality = args.data_quality.unwrap_or_else(|| {
         args.scenario.as_ref().map_or(DataQualityProfile::Off, |sc| sc.data_quality_profile())
     });
+    // The classifier stage runs when a flag asks for it or the scenario
+    // declares `[classifier] enabled = true`; its hyper-parameters come
+    // from the scenario's section (library defaults when absent), so a
+    // flag-driven and a section-less scenario run stay byte-identical.
+    let classify = args.classify
+        || args.classifier_json.is_some()
+        || args.scenario.as_ref().is_some_and(|sc| sc.classifier.enabled);
+    let classifier_cfg =
+        args.scenario.as_ref().map_or_else(ClassifierConfig::default, |sc| sc.classifier_config());
     let cli_failures = args.failure_profile.is_some() || args.mtbf_factor.is_some();
     let failures = if cli_failures || args.scenario.is_none() {
         failure_model(&args, seed)
@@ -778,26 +865,73 @@ fn main() {
     let policy_ab = (policy != PolicySpec::Off).then(|| {
         eprintln!("running policy A/B ({}) ...", policy.label());
         let t0 = std::time::Instant::now();
-        let exp = PolicyExperiment::new(
+        let mut exp = PolicyExperiment::new(
             SimConfig { detailed_series_jobs: 0, ..sim_config.clone() },
             policy,
         );
+        exp.classifier = classifier_cfg.clone();
         let result = match &sink {
             Some(s) => exp.run_observed(&trace, &Obs::new(s)),
             None => exp.run(&trace),
         };
         eprintln!("policy A/B done in {:?}", t0.elapsed());
         println!("{}", result.fig.render());
-        result.fig
+        if let Some(fig) = &result.oracle_fig {
+            println!("{}", fig.render());
+        }
+        if let (Some(pp), Some(wait)) =
+            (result.predicted_vs_oracle_goodput_pp(), result.predicted_vs_oracle_wait_secs())
+        {
+            println!(
+                "predicted vs oracle placement: goodput {pp:+.3} pp, mean queue wait \
+                 {wait:+.1} s (negative goodput = classifier error cost)\n"
+            );
+        }
+        result
     });
     if let Some(s) = &sink {
         s.flush().unwrap_or_else(|e| fail(&format!("cannot flush trace file: {e}")));
     }
-    if let (Some(fig), Some(dir)) = (&policy_ab, &args.svg_dir) {
+    if let (Some(result), Some(dir)) = (&policy_ab, &args.svg_dir) {
         let path = std::path::Path::new(dir).join("policy_ab.svg");
+        std::fs::write(&path, result.fig.to_svg())
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Workload classification: train the archetype classifier on the
+    // same trace and report the held-out confusion matrix. When the
+    // coshare-predicted harness already trained one (with the identical
+    // config), reuse its evaluation instead of training twice.
+    let classifier_fig = classify.then(|| {
+        let eval = match policy_ab.as_ref().and_then(|r| r.classifier_eval.clone()) {
+            Some(eval) => eval,
+            None => {
+                eprintln!(
+                    "training workload classifier ({} trees, seed {}) ...",
+                    classifier_cfg.trees, classifier_cfg.seed
+                );
+                let t0 = std::time::Instant::now();
+                let (_, eval) = ArchetypePredictor::train(&trace, &classifier_cfg);
+                eprintln!("classifier trained in {:?}", t0.elapsed());
+                eval
+            }
+        };
+        let fig = eval.to_fig();
+        println!("{}", fig.render());
+        fig
+    });
+    if let (Some(fig), Some(dir)) = (&classifier_fig, &args.svg_dir) {
+        let path = std::path::Path::new(dir).join("classifier_confusion.svg");
         std::fs::write(&path, fig.to_svg())
             .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
         eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.classifier_json {
+        let fig = classifier_fig.as_ref().expect("--classifier-json implies --classify");
+        std::fs::write(path, classifier_json(fig, policy_ab.as_ref()))
+            .unwrap_or_else(|e| fail(&format!("cannot write classifier json {path}: {e}")));
+        eprintln!("wrote {path}");
     }
 
     // Data-quality round trip: corrupt the recorded dataset with the
@@ -916,11 +1050,34 @@ fn main() {
         md.push_str("\n## Opportunity studies (Secs. III, VI, VIII)\n\n```text\n");
         md.push_str(&opportunity.render());
         md.push_str("```\n");
-        if let Some(fig) = &policy_ab {
+        if let Some(result) = &policy_ab {
             md.push_str(POLICY_AB);
+            md.push_str("\n```text\n");
+            md.push_str(&result.fig.render());
+            if let Some(fig) = &result.oracle_fig {
+                md.push('\n');
+                md.push_str(&fig.render());
+            }
+            md.push_str("```\n");
+            if let (Some(pp), Some(wait)) =
+                (result.predicted_vs_oracle_goodput_pp(), result.predicted_vs_oracle_wait_secs())
+            {
+                md.push_str(&format!(
+                    "\nPredicted-label vs oracle-label placement: goodput {pp:+.3} pp, \
+                     mean queue wait {wait:+.1} s — the measured cost of routing on the \
+                     classifier's labels instead of ground truth.\n"
+                ));
+            }
+        }
+        if let Some(fig) = &classifier_fig {
+            md.push_str(CLASSIFIER_METHODOLOGY);
             md.push_str("\n```text\n");
             md.push_str(&fig.render());
             md.push_str("```\n");
+            md.push_str(
+                "\nThe rendered heatmap lands at `figs/classifier_confusion.svg` with \
+                 `--svg-dir figs`.\n",
+            );
         }
         if let Some(fig) = &data_quality_fig {
             md.push_str(DATA_QUALITY);

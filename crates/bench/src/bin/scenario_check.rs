@@ -49,6 +49,10 @@ const MALFORMED: &[&str] = &[
     "[scenario]\nname = \"x\"\n[workload]\ngpu_job_fraction = 1.5\n",
     "[scenario]\nname = \"x\"\nseed = \"forty-two\"\n",
     "[scenario]\nname = \"x\"\nscale = [1.0]\n",
+    "[scenario]\nname = \"x\"\n[classifier]\ntrees = 0\n",
+    "[scenario]\nname = \"x\"\n[classifier]\ntrain_fraction = 1.0\n",
+    "[scenario]\nname = \"x\"\n[classifier]\nenabled = \"yes\"\n",
+    "[scenario]\nname = \"x\"\n[classifier]\nforest_size = 5\n",
 ];
 
 fn check(label: &str, ok: bool, detail: &str, failures: &mut u32) {

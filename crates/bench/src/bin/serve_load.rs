@@ -47,6 +47,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     requests: usize,
+    cache_capacity: usize,
     out: Option<String>,
     trace: Option<String>,
 }
@@ -67,6 +68,10 @@ const USAGE: &str = "usage: serve_load [--scenario NAME|FILE] [--scale F] [--see
                  all cores)
   --requests N   requests per flood mix (default 200; the cold what-if
                  mix always runs its 6 queries once each)
+  --cache-capacity N
+                 memo-cache bound, landed responses (default 256;
+                 0 = unbounded). Overflow evicts by the deterministic
+                 second-chance sweep and the report counts evictions.
   --out FILE     also write the JSON report to FILE
   --trace FILE   record per-query wall-clock spans and write them as a
                  Chrome trace (chrome://tracing / Perfetto)";
@@ -88,6 +93,7 @@ fn parse_args() -> Args {
         seed: 42,
         threads: None,
         requests: 200,
+        cache_capacity: 256,
         out: None,
         trace: None,
     };
@@ -134,6 +140,11 @@ fn parse_args() -> Args {
                 }
                 args.requests = n;
             }
+            "--cache-capacity" => {
+                args.cache_capacity = value("--cache-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--cache-capacity needs a count"));
+            }
             "--out" => args.out = Some(value("--out")),
             "--trace" => args.trace = Some(value("--trace")),
             "--help" | "-h" => {
@@ -161,6 +172,7 @@ struct MixReport {
     hits: u64,
     misses: u64,
     coalesced: u64,
+    evictions: u64,
 }
 
 impl MixReport {
@@ -220,6 +232,7 @@ fn run_mix(
         hits: delta.hits,
         misses: delta.misses,
         coalesced: delta.coalesced,
+        evictions: delta.evictions,
     }
 }
 
@@ -286,7 +299,8 @@ fn report_json(
         out.push_str(&format!(
             "    \"{}\": {{ \"requests\": {}, \"secs\": {:.6}, \"qps\": {:.1}, \
              \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
-             \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"hit_rate\": {:.4} }}{comma}\n",
+             \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
+             \"hit_rate\": {:.4} }}{comma}\n",
             m.name,
             m.requests,
             m.secs,
@@ -297,6 +311,7 @@ fn report_json(
             m.hits,
             m.misses,
             m.coalesced,
+            m.evictions,
             m.hit_rate(),
         ));
     }
@@ -332,6 +347,7 @@ fn main() {
         scale: args.scale,
         seed: args.seed,
         threads,
+        cache_capacity: args.cache_capacity,
         tracing: args.trace.is_some(),
         scenario: args.scenario.clone(),
         ..ServeConfig::default()

@@ -148,6 +148,7 @@ mod tests {
             time_limit: 3600.0,
             class: None,
             outcome: sc_workload::PlannedOutcome::Complete { work_secs: 100.0 },
+            archetype: None,
             truth_params: None,
             idle_gpus: 0,
             truth_seed: 0,

@@ -248,6 +248,7 @@ mod tests {
             time_limit: limit,
             class: None,
             outcome: PlannedOutcome::Complete { work_secs: limit / 2.0 },
+            archetype: None,
             truth_params: None,
             idle_gpus: 0,
             truth_seed: 0,

@@ -5,6 +5,7 @@
 //! the same rows/series the paper plots, and a `comparisons` method
 //! returning paper-vs-measured rows for `EXPERIMENTS.md`.
 
+pub mod classifier;
 pub mod data_quality;
 pub mod fig03;
 pub mod fig04;
@@ -26,6 +27,7 @@ pub mod policy_ab;
 pub mod streaming;
 pub mod timeline;
 
+pub use classifier::ClassifierFig;
 pub use data_quality::{DataQualityFig, DeltaRow};
 pub use fig03::Fig3;
 pub use fig04::Fig4;

@@ -51,7 +51,9 @@ pub mod view;
 pub mod workflow;
 
 pub use classify::{classify_exit, classify_record};
-pub use figures::{ClusterTimelineFig, DataQualityFig, GoodputFig, StreamingTelemetryFig};
+pub use figures::{
+    ClassifierFig, ClusterTimelineFig, DataQualityFig, GoodputFig, StreamingTelemetryFig,
+};
 pub use ingest::{
     corrupt_and_ingest, ingest, DataQualityError, IngestOutput, IngestReport, Provenance,
     QuarantineAction, QuarantineEntry,

@@ -1,0 +1,17 @@
+//! Trains the archetype classifier on a scaled-down supercloud trace
+//! and prints the held-out evaluation report.
+//!
+//! ```text
+//! cargo run -p sc-learn --release --example train_classifier
+//! ```
+
+use sc_learn::{ArchetypePredictor, ClassifierConfig};
+use sc_workload::{Trace, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::supercloud().scaled(0.02);
+    let trace = Trace::generate(&spec, 7);
+    let cfg = ClassifierConfig::default();
+    let (_, report) = ArchetypePredictor::train(&trace, &cfg);
+    println!("{}", report.to_fig().render());
+}

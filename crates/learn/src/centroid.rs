@@ -1,0 +1,128 @@
+//! Nearest-centroid baseline classifier.
+//!
+//! The simplest thing that could work: z-score features with the
+//! training set's mean and standard deviation, average each class into
+//! a centroid, and predict the nearest centroid by squared Euclidean
+//! distance. The forest must beat this baseline for its complexity to
+//! pay; the evaluation report carries both accuracies side by side.
+
+use sc_workload::WorkloadArchetype;
+
+use crate::dataset::Sample;
+use crate::features::FEATURE_COUNT;
+
+const CLASSES: usize = WorkloadArchetype::ALL.len();
+
+/// Z-scored nearest-centroid classifier.
+#[derive(Debug, Clone)]
+pub struct NearestCentroid {
+    mean: [f64; FEATURE_COUNT],
+    std: [f64; FEATURE_COUNT],
+    centroids: [[f64; FEATURE_COUNT]; CLASSES],
+}
+
+impl NearestCentroid {
+    /// Fits standardization constants and per-class centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn train(train: &[Sample]) -> NearestCentroid {
+        assert!(!train.is_empty(), "centroid classifier needs training samples");
+        let n = train.len() as f64;
+        let mut mean = [0.0; FEATURE_COUNT];
+        let mut std = [0.0; FEATURE_COUNT];
+        for s in train {
+            for (f, v) in s.features.iter().enumerate() {
+                mean[f] += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        for s in train {
+            for (f, v) in s.features.iter().enumerate() {
+                std[f] += (v - mean[f]) * (v - mean[f]);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-9);
+        }
+        let mut centroids = [[0.0; FEATURE_COUNT]; CLASSES];
+        let mut counts = [0usize; CLASSES];
+        for s in train {
+            let c = s.label.index();
+            counts[c] += 1;
+            for (f, v) in s.features.iter().enumerate() {
+                centroids[c][f] += (v - mean[f]) / std[f];
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for v in centroid.iter_mut() {
+                    *v /= counts[c] as f64;
+                }
+            }
+        }
+        NearestCentroid { mean, std, centroids }
+    }
+
+    /// Predicts the class whose centroid is nearest in standardized
+    /// space; ties break to the lowest class index.
+    pub fn predict(&self, x: &[f64; FEATURE_COUNT]) -> WorkloadArchetype {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d: f64 = (0..FEATURE_COUNT)
+                .map(|f| {
+                    let z = (x[f] - self.mean[f]) / self.std[f];
+                    (z - centroid[f]) * (z - centroid[f])
+                })
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        WorkloadArchetype::ALL[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_telemetry::record::JobId;
+
+    fn sample(class: usize, offset: f64) -> Sample {
+        let mut features = [0.0; FEATURE_COUNT];
+        features[0] = class as f64 * 100.0 + offset;
+        features[5] = -(class as f64) + offset * 0.01;
+        Sample { job_id: JobId(0), label: WorkloadArchetype::ALL[class], features }
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let train: Vec<Sample> =
+            (0..CLASSES).flat_map(|c| (0..10).map(move |i| sample(c, i as f64))).collect();
+        let model = NearestCentroid::train(&train);
+        for c in 0..CLASSES {
+            assert_eq!(model.predict(&sample(c, 4.5).features), WorkloadArchetype::ALL[c]);
+        }
+    }
+
+    #[test]
+    fn constant_features_do_not_divide_by_zero() {
+        let train: Vec<Sample> = (0..CLASSES)
+            .flat_map(|c| {
+                (0..4).map(move |_| {
+                    let mut s = sample(c, 0.0);
+                    s.features[3] = 7.0;
+                    s
+                })
+            })
+            .collect();
+        let model = NearestCentroid::train(&train);
+        let p = model.predict(&train[0].features);
+        assert_eq!(p, train[0].label);
+    }
+}

@@ -1,0 +1,136 @@
+//! Held-out evaluation: confusion matrix, accuracy, precision/recall.
+
+use sc_core::ClassifierFig;
+use sc_workload::WorkloadArchetype;
+
+use crate::centroid::NearestCentroid;
+use crate::dataset::Dataset;
+use crate::forest::Forest;
+
+const CLASSES: usize = WorkloadArchetype::ALL.len();
+
+/// Precision and recall for one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassScore {
+    /// Diagonal count over the predicted-column sum (0 when the class
+    /// was never predicted).
+    pub precision: f64,
+    /// Diagonal count over the truth-row sum (0 when the class never
+    /// occurs in the test split).
+    pub recall: f64,
+}
+
+/// Evaluation of a trained forest (and the centroid baseline) on the
+/// held-out split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// `confusion[truth][predicted]` forest counts on the test split.
+    pub confusion: [[u64; CLASSES]; CLASSES],
+    /// Forest accuracy on the test split.
+    pub accuracy: f64,
+    /// Nearest-centroid accuracy on the same split.
+    pub centroid_accuracy: f64,
+    /// Per-class forest scores, archetype-index order.
+    pub per_class: [ClassScore; CLASSES],
+    /// Training-split size.
+    pub train_count: usize,
+    /// Test-split size.
+    pub test_count: usize,
+}
+
+impl EvalReport {
+    /// Converts to the report/SVG figure in `sc-core`.
+    pub fn to_fig(&self) -> ClassifierFig {
+        ClassifierFig {
+            labels: WorkloadArchetype::ALL.iter().map(|a| a.label().to_string()).collect(),
+            confusion: self.confusion.iter().map(|row| row.to_vec()).collect(),
+            accuracy: self.accuracy,
+            centroid_accuracy: self.centroid_accuracy,
+            precision: self.per_class.iter().map(|s| s.precision).collect(),
+            recall: self.per_class.iter().map(|s| s.recall).collect(),
+            train_count: self.train_count,
+            test_count: self.test_count,
+        }
+    }
+}
+
+/// Scores `forest` and `centroid` on the dataset's test split.
+pub fn evaluate(forest: &Forest, centroid: &NearestCentroid, dataset: &Dataset) -> EvalReport {
+    let mut confusion = [[0u64; CLASSES]; CLASSES];
+    let mut forest_hits = 0usize;
+    let mut centroid_hits = 0usize;
+    for s in &dataset.test {
+        let predicted = forest.predict(&s.features);
+        confusion[s.label.index()][predicted.index()] += 1;
+        if predicted == s.label {
+            forest_hits += 1;
+        }
+        if centroid.predict(&s.features) == s.label {
+            centroid_hits += 1;
+        }
+    }
+    let n = dataset.test.len();
+    let mut per_class = [ClassScore { precision: 0.0, recall: 0.0 }; CLASSES];
+    for (c, score) in per_class.iter_mut().enumerate() {
+        let diag = confusion[c][c] as f64;
+        let col: u64 = (0..CLASSES).map(|r| confusion[r][c]).sum();
+        let row: u64 = confusion[c].iter().sum();
+        score.precision = if col == 0 { 0.0 } else { diag / col as f64 };
+        score.recall = if row == 0 { 0.0 } else { diag / row as f64 };
+    }
+    EvalReport {
+        confusion,
+        accuracy: if n == 0 { 0.0 } else { forest_hits as f64 / n as f64 },
+        centroid_accuracy: if n == 0 { 0.0 } else { centroid_hits as f64 / n as f64 },
+        per_class,
+        train_count: dataset.train.len(),
+        test_count: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::features::FEATURE_COUNT;
+    use sc_telemetry::record::JobId;
+
+    fn separable(n: usize, start: usize) -> Vec<Sample> {
+        (start..start + n)
+            .map(|i| {
+                let class = i % CLASSES;
+                let mut features = [0.0; FEATURE_COUNT];
+                features[1] = class as f64 + crate::hash_unit(i as u64) * 0.3;
+                Sample { job_id: JobId(i as u64), label: WorkloadArchetype::ALL[class], features }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_classifier_scores_ones() {
+        let ds = Dataset { train: separable(120, 0), test: separable(40, 1000) };
+        let forest = Forest::train(&ds.train, 7, 3);
+        let centroid = NearestCentroid::train(&ds.train);
+        let report = evaluate(&forest, &centroid, &ds);
+        assert_eq!(report.accuracy, 1.0, "{:?}", report.confusion);
+        assert_eq!(report.centroid_accuracy, 1.0);
+        for s in report.per_class {
+            assert_eq!((s.precision, s.recall), (1.0, 1.0));
+        }
+        let total: u64 = report.confusion.iter().flatten().sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn fig_conversion_carries_labels_and_counts() {
+        let ds = Dataset { train: separable(80, 0), test: separable(20, 500) };
+        let forest = Forest::train(&ds.train, 3, 1);
+        let centroid = NearestCentroid::train(&ds.train);
+        let fig = evaluate(&forest, &centroid, &ds).to_fig();
+        assert_eq!(fig.labels.len(), CLASSES);
+        assert!(fig.labels.contains(&"cnn-periodic".to_string()));
+        assert_eq!((fig.train_count, fig.test_count), (80, 20));
+        assert!(fig.render().contains("Workload classification"));
+        assert!(fig.to_svg().starts_with("<svg"));
+    }
+}

@@ -1,0 +1,94 @@
+//! The trained classifier packaged for closed-loop use.
+
+use sc_workload::{JobSpec, Trace, WorkloadArchetype};
+
+use crate::centroid::NearestCentroid;
+use crate::dataset::build_dataset;
+use crate::eval::{evaluate, EvalReport};
+use crate::features::job_features;
+use crate::forest::Forest;
+use crate::ClassifierConfig;
+
+/// A trained archetype classifier plus the feature-extraction config
+/// it was trained with — the hook `sc-policy` routes placement on.
+#[derive(Debug, Clone)]
+pub struct ArchetypePredictor {
+    forest: Forest,
+    cfg: ClassifierConfig,
+}
+
+impl ArchetypePredictor {
+    /// Trains the forest (and the centroid baseline) on `trace`'s
+    /// deterministic dataset and returns the predictor together with
+    /// its held-out evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace yields no labeled GPU jobs to train on.
+    pub fn train(trace: &Trace, cfg: &ClassifierConfig) -> (ArchetypePredictor, EvalReport) {
+        let dataset = build_dataset(trace, cfg);
+        assert!(
+            !dataset.train.is_empty() && !dataset.test.is_empty(),
+            "classifier needs labeled GPU jobs in both splits (got {} train / {} test)",
+            dataset.train.len(),
+            dataset.test.len()
+        );
+        let forest = Forest::train(&dataset.train, cfg.trees, cfg.seed);
+        let centroid = NearestCentroid::train(&dataset.train);
+        let report = evaluate(&forest, &centroid, &dataset);
+        (ArchetypePredictor { forest, cfg: cfg.clone() }, report)
+    }
+
+    /// Predicts the archetype of one job from its streamed telemetry
+    /// features. Returns `None` for jobs without GPU ground truth.
+    pub fn predict_job(&self, job: &JobSpec) -> Option<WorkloadArchetype> {
+        Some(self.forest.predict(&job_features(job, &self.cfg)?))
+    }
+
+    /// The configuration the predictor was trained with.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_workload::WorkloadSpec;
+
+    fn small_trace() -> Trace {
+        Trace::generate(&WorkloadSpec::supercloud().scaled(0.004), 17)
+    }
+
+    #[test]
+    fn trains_and_beats_chance_by_a_wide_margin() {
+        let trace = small_trace();
+        let (predictor, report) = ArchetypePredictor::train(&trace, &ClassifierConfig::default());
+        assert!(
+            report.accuracy > 0.6,
+            "archetypes should be recognizable from their signatures: {:?}",
+            report.confusion
+        );
+        assert!(report.test_count > 20);
+        let gpu = trace.gpu_jobs().next().expect("trace has GPU jobs");
+        let predicted = predictor.predict_job(gpu).expect("GPU job has features");
+        assert!(WorkloadArchetype::ALL.contains(&predicted));
+    }
+
+    #[test]
+    fn cpu_jobs_have_no_prediction() {
+        let trace = small_trace();
+        let (predictor, _) = ArchetypePredictor::train(&trace, &ClassifierConfig::default());
+        let cpu = trace.jobs().iter().find(|j| j.truth_params.is_none()).expect("cpu job");
+        assert_eq!(predictor.predict_job(cpu), None);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let trace = small_trace();
+        let cfg = ClassifierConfig::default();
+        let (_, a) = ArchetypePredictor::train(&trace, &cfg);
+        let (_, b) = ArchetypePredictor::train(&trace, &cfg);
+        assert_eq!(a, b, "same trace + config must evaluate identically");
+    }
+}

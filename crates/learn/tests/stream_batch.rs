@@ -1,0 +1,79 @@
+//! The feature extractor under the streaming contract: folding a job's
+//! tick stream through [`sc_learn::FeatureSink`] must equal — bit for
+//! bit, not approximately — recomputing the same features from the
+//! batch sampler's materialized series, for any job, sampling period,
+//! and window, and the whole dataset build must be byte-identical at
+//! any `SC_PAR_THREADS` budget.
+
+use proptest::prelude::*;
+use sc_learn::features::features_of_series;
+use sc_learn::{build_dataset, job_features, ClassifierConfig, FEATURE_COUNT};
+use sc_telemetry::sampler::GpuSampler;
+use sc_workload::{JobSpec, Trace, WorkloadSpec};
+use std::sync::OnceLock;
+
+/// One shared 0.4%-scale trace: big enough that every archetype shows
+/// up, small enough that a property case stays milliseconds.
+fn trace() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| Trace::generate(&WorkloadSpec::supercloud().scaled(0.004), 23))
+}
+
+/// The batch path `job_features` must match: materialize the window's
+/// series with the stock sampler, reduce to the job level, then fold
+/// the triples through the same sink.
+fn batch_features(job: &JobSpec, cfg: &ClassifierConfig) -> Option<[f64; FEATURE_COUNT]> {
+    let params = job.truth_params.as_ref()?;
+    let truth = job.ground_truth()?;
+    let window = params.duration.min(cfg.window_secs);
+    let series = GpuSampler::with_period(cfg.period_secs).sample_series(&truth, window);
+    let sm = series.job_level_series(|s| s.sm_util);
+    let mem = series.job_level_series(|s| s.mem_util);
+    let msize = series.job_level_series(|s| s.mem_size_util);
+    let triples: Vec<[f64; 3]> = (0..series.len()).map(|k| [sm[k], mem[k], msize[k]]).collect();
+    Some(features_of_series(&triples, params.duration))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streamed_features_equal_batch_recomputation(
+        pick in 0usize..4096,
+        period_idx in 0usize..4,
+        window in 30.0f64..7200.0,
+    ) {
+        let period = [0.5f64, 1.0, 2.0, 3.7][period_idx];
+        let gpu_jobs: Vec<&JobSpec> = trace().gpu_jobs().collect();
+        prop_assume!(!gpu_jobs.is_empty());
+        let job = gpu_jobs[pick % gpu_jobs.len()];
+        let cfg = ClassifierConfig {
+            period_secs: period,
+            window_secs: window,
+            ..ClassifierConfig::default()
+        };
+        let streamed = job_features(job, &cfg).expect("gpu jobs have features");
+        let batch = batch_features(job, &cfg).expect("gpu jobs have features");
+        // Plain == on the f64 arrays: bit equality is the contract.
+        prop_assert_eq!(streamed, batch);
+    }
+}
+
+/// The N-thread side of the 1-vs-N comparison; the CI determinism
+/// matrix sweeps `SC_PAR_THREADS` over 1, 4, 8.
+fn alt_thread_budget() -> usize {
+    std::env::var("SC_PAR_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+#[test]
+fn dataset_build_is_identical_across_thread_budgets() {
+    let cfg = ClassifierConfig::default();
+    let saved = sc_par::current_threads();
+    sc_par::set_max_threads(1);
+    let one = build_dataset(trace(), &cfg);
+    sc_par::set_max_threads(alt_thread_budget());
+    let alt = build_dataset(trace(), &cfg);
+    sc_par::set_max_threads(saved);
+    assert!(!one.is_empty());
+    assert_eq!(one, alt, "parallel feature extraction must merge in input order");
+}

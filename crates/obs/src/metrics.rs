@@ -60,6 +60,13 @@ impl SharedCounter {
         self.value.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Raises the count to `n` if it is below (no-op otherwise).
+    /// Idempotent and race-free, so a counter can mirror another
+    /// subsystem's monotone total without double-counting.
+    pub fn record_at_least(&self, n: u64) {
+        self.value.fetch_max(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Current count.
     pub fn get(&self) -> u64 {
         self.value.load(std::sync::atomic::Ordering::Relaxed)
@@ -212,6 +219,18 @@ mod tests {
         let mut g = Gauge::new();
         g.set(2.5);
         assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn shared_counter_record_at_least_is_monotone() {
+        let c = SharedCounter::new();
+        c.add(5);
+        c.record_at_least(3); // below: no-op
+        assert_eq!(c.get(), 5);
+        c.record_at_least(9);
+        assert_eq!(c.get(), 9);
+        c.record_at_least(9); // idempotent
+        assert_eq!(c.get(), 9);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Sharded memoization cache with single-flight computation.
+//! Sharded memoization cache with single-flight computation and
+//! bounded second-chance eviction.
 //!
 //! [`MemoCache`] backs the query service: results are cached under a
 //! hashable key, and concurrent requests for the *same* key coalesce
@@ -7,9 +8,24 @@
 //! are returned as `Arc<V>`, so a hit never clones the payload.
 //!
 //! Because cached values are pure functions of their key (the service
-//! layer enforces that), coalescing and caching can never change a
-//! response: a cold miss, a warm hit, and a coalesced wait all yield
-//! the same bytes.
+//! layer enforces that), coalescing, caching, and eviction can never
+//! change a response: a cold miss, a warm hit, a coalesced wait, and a
+//! recompute after eviction all yield the same bytes.
+//!
+//! # Eviction
+//!
+//! [`MemoCache::with_capacity`] bounds the number of landed entries
+//! with the classic *second-chance* (clock) policy, per shard: each
+//! landed key sits in a circular ring with a reference bit that a hit
+//! sets; when a shard is full, a clock hand sweeps the ring, clearing
+//! set bits (the second chance) and evicting the first key whose bit
+//! is already clear. The sweep is a pure function of the shard's
+//! request history — no clocks, no randomness — so a single-threaded
+//! request sequence always evicts the same keys. In-flight
+//! computations are never evicted; only landed values are.
+//!
+//! [`MemoCache::new`] keeps the historical unbounded behavior
+//! (capacity 0 = never evict).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -39,10 +55,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Calls that waited on another call's in-flight computation.
     pub coalesced: u64,
+    /// Landed entries evicted by the clock sweep (always 0 for an
+    /// unbounded cache).
+    pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Total calls observed.
+    /// Total calls observed (evictions are not calls).
     pub fn total(&self) -> u64 {
         self.hits + self.misses + self.coalesced
     }
@@ -64,6 +83,7 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             coalesced: self.coalesced - earlier.coalesced,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -113,10 +133,74 @@ impl<V> Flight<V> {
     }
 }
 
-/// A cache slot: either a landed value or an in-flight computation.
+/// A cache slot: either a landed value (with its clock-ring slot) or
+/// an in-flight computation (never in the ring, never evicted).
 enum Entry<V> {
     InFlight(Arc<Flight<V>>),
-    Ready(Arc<V>),
+    Ready(Arc<V>, usize),
+}
+
+/// One independently locked shard: the key map plus the clock ring
+/// over its landed keys.
+///
+/// Invariant: `ring[slot]` is a `Ready` key whose entry stores `slot`
+/// back, for every slot; in-flight keys live only in `map`.
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    /// Landed keys, in landing order until the shard fills, then
+    /// overwritten in place by the clock sweep.
+    ring: Vec<K>,
+    /// Reference bits: set on hit, cleared by the sweeping hand.
+    refbit: Vec<bool>,
+    /// The clock hand: next slot the sweep examines.
+    hand: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> Shard<K, V> {
+    fn new() -> Shard<K, V> {
+        Shard { map: HashMap::new(), ring: Vec::new(), refbit: Vec::new(), hand: 0 }
+    }
+
+    /// Lands `value` under `key`, evicting one landed entry by the
+    /// clock sweep if the shard is at `cap` (0 = unbounded). Returns
+    /// how many entries were evicted (0 or 1).
+    fn insert_ready(&mut self, key: K, value: Arc<V>, cap: usize) -> u64 {
+        let (slot, evicted) = if cap > 0 && self.ring.len() >= cap {
+            // Sweep: clear set bits until a clear one is found. The
+            // second pass must find one, so this terminates.
+            loop {
+                if self.hand >= self.ring.len() {
+                    self.hand = 0;
+                }
+                if self.refbit[self.hand] {
+                    self.refbit[self.hand] = false;
+                    self.hand += 1;
+                } else {
+                    break;
+                }
+            }
+            let slot = self.hand;
+            self.map.remove(&self.ring[slot]);
+            self.ring[slot] = key.clone();
+            self.refbit[slot] = false;
+            self.hand = slot + 1;
+            (slot, 1)
+        } else {
+            self.ring.push(key.clone());
+            self.refbit.push(false);
+            (self.ring.len() - 1, 0)
+        };
+        self.map.insert(key, Entry::Ready(value, slot));
+        evicted
+    }
+
+    /// Drops `key` only if it is still in flight (the abort path when
+    /// the computing closure unwinds).
+    fn abort_flight(&mut self, key: &K) {
+        if matches!(self.map.get(key), Some(Entry::InFlight(_))) {
+            self.map.remove(key);
+        }
+    }
 }
 
 /// Removes the in-flight entry and poisons its flight if the computing
@@ -134,22 +218,26 @@ impl<K: Hash + Eq + Clone, V> Drop for FlightGuard<'_, K, V> {
             return;
         }
         let mut shard = self.cache.shard(self.key).lock().expect("cache shard poisoned");
-        shard.remove(self.key);
+        shard.abort_flight(self.key);
         drop(shard);
         self.flight.finish(None);
     }
 }
 
-/// Sharded concurrent memoization cache with single-flight semantics.
+/// Sharded concurrent memoization cache with single-flight semantics
+/// and optional second-chance eviction.
 ///
 /// Keys hash to one of [`MemoCache::SHARDS`] independently locked maps,
 /// so unrelated keys never contend. See the module docs for the
-/// coalescing contract.
+/// coalescing and eviction contracts.
 pub struct MemoCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, Entry<V>>>>,
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Landed entries allowed per shard; 0 means unbounded.
+    shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V> Default for MemoCache<K, V> {
@@ -164,8 +252,12 @@ impl<K, V> std::fmt::Debug for MemoCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         };
-        f.debug_struct("MemoCache").field("stats", &stats).finish_non_exhaustive()
+        f.debug_struct("MemoCache")
+            .field("stats", &stats)
+            .field("shard_cap", &self.shard_cap)
+            .finish_non_exhaustive()
     }
 }
 
@@ -173,17 +265,36 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
     /// Number of independently locked shards.
     pub const SHARDS: usize = 16;
 
-    /// An empty cache.
+    /// An empty unbounded cache (never evicts).
     pub fn new() -> MemoCache<K, V> {
+        MemoCache::with_capacity(0)
+    }
+
+    /// An empty cache bounded at roughly `capacity` landed entries;
+    /// 0 means unbounded. The bound is enforced per shard at
+    /// `ceil(capacity / SHARDS)` entries, so the effective total
+    /// rounds up to the next multiple of [`MemoCache::SHARDS`] and a
+    /// pathologically skewed key distribution evicts earlier than a
+    /// uniform one.
+    pub fn with_capacity(capacity: usize) -> MemoCache<K, V> {
+        let shard_cap = if capacity == 0 { 0 } else { capacity.div_ceil(Self::SHARDS) };
         MemoCache {
-            shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Entry<V>>> {
+    /// The effective landed-entry bound (`shard cap × SHARDS`); 0
+    /// means unbounded.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * Self::SHARDS
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
@@ -207,10 +318,12 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
         loop {
             let flight = {
                 let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-                match shard.get(&key) {
-                    Some(Entry::Ready(v)) => {
+                match shard.map.get(&key) {
+                    Some(Entry::Ready(v, slot)) => {
+                        let (v, slot) = (v.clone(), *slot);
+                        shard.refbit[slot] = true;
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return (v.clone(), CacheOutcome::Hit);
+                        return (v, CacheOutcome::Hit);
                     }
                     Some(Entry::InFlight(flight)) => {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -218,7 +331,7 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
                     }
                     None => {
                         let flight = Arc::new(Flight::new());
-                        shard.insert(key.clone(), Entry::InFlight(flight.clone()));
+                        shard.map.insert(key.clone(), Entry::InFlight(flight.clone()));
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         drop(shard);
 
@@ -229,8 +342,12 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
                         drop(guard);
 
                         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-                        shard.insert(key.clone(), Entry::Ready(value.clone()));
+                        let evicted =
+                            shard.insert_ready(key.clone(), value.clone(), self.shard_cap);
                         drop(shard);
+                        if evicted > 0 {
+                            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                        }
                         flight.finish(Some(value.clone()));
                         return (value, CacheOutcome::Miss);
                     }
@@ -246,27 +363,19 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
     }
 
     /// The cached value for `key`, if it has landed. Never waits on an
-    /// in-flight computation and does not count as a hit or miss.
+    /// in-flight computation, does not count as a hit or miss, and
+    /// does not touch the reference bit.
     pub fn peek(&self, key: &K) -> Option<Arc<V>> {
         let shard = self.shard(key).lock().expect("cache shard poisoned");
-        match shard.get(key) {
-            Some(Entry::Ready(v)) => Some(v.clone()),
+        match shard.map.get(key) {
+            Some(Entry::Ready(v, _)) => Some(v.clone()),
             _ => None,
         }
     }
 
     /// Number of landed entries (in-flight computations excluded).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("cache shard poisoned")
-                    .values()
-                    .filter(|e| matches!(e, Entry::Ready(_)))
-                    .count()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").ring.len()).sum()
     }
 
     /// Whether no entry has landed yet.
@@ -280,6 +389,7 @@ impl<K: Hash + Eq + Clone, V> MemoCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -298,7 +408,7 @@ mod tests {
         assert_eq!(oa, CacheOutcome::Miss);
         assert_eq!(ob, CacheOutcome::Hit);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, coalesced: 0 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
         assert_eq!(cache.len(), 1);
     }
 
@@ -312,6 +422,7 @@ mod tests {
         }
         assert_eq!(cache.len(), 100);
         assert_eq!(cache.stats().misses, 100);
+        assert_eq!(cache.stats().evictions, 0, "unbounded caches never evict");
     }
 
     #[test]
@@ -378,7 +489,114 @@ mod tests {
         cache.get_or_compute(1, || 1);
         cache.get_or_compute(2, || 2);
         let delta = cache.stats().since(&before);
-        assert_eq!(delta, CacheStats { hits: 1, misses: 1, coalesced: 0 });
+        assert_eq!(delta, CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
         assert!((delta.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_shard_multiples() {
+        let unbounded: MemoCache<u32, u32> = MemoCache::new();
+        assert_eq!(unbounded.capacity(), 0);
+        let tiny: MemoCache<u32, u32> = MemoCache::with_capacity(1);
+        assert_eq!(tiny.capacity(), MemoCache::<u32, u32>::SHARDS);
+        let even: MemoCache<u32, u32> = MemoCache::with_capacity(256);
+        assert_eq!(even.capacity(), 256);
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity_and_counts_evictions() {
+        let cache: MemoCache<u32, u32> = MemoCache::with_capacity(32);
+        for k in 0..500 {
+            cache.get_or_compute(k, || k);
+        }
+        assert!(cache.len() <= 32, "len {} exceeds capacity", cache.len());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 500);
+        assert_eq!(stats.evictions, 500 - cache.len() as u64);
+        // Evicted keys recompute; the cache stays bounded.
+        let before = cache.stats();
+        for k in 0..500 {
+            cache.get_or_compute(k, || k);
+        }
+        let delta = cache.stats().since(&before);
+        assert!(delta.misses > 0, "a 32-entry cache cannot hold 500 keys");
+        assert!(cache.len() <= 32);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_across_runs() {
+        let survivors = || {
+            let cache: MemoCache<u32, u32> = MemoCache::with_capacity(16);
+            for k in 0..200 {
+                cache.get_or_compute(k, || k);
+                // Keep key 0 hot so its reference bit shields it.
+                cache.get_or_compute(0, || 0);
+            }
+            let mut alive: Vec<u32> = (0..200).filter(|k| cache.peek(k).is_some()).collect();
+            alive.sort_unstable();
+            (alive, cache.stats())
+        };
+        assert_eq!(survivors(), survivors(), "same request sequence, same evictions");
+    }
+
+    #[test]
+    fn clock_sweep_gives_referenced_entries_a_second_chance() {
+        // Drive one Shard directly: MemoCache's key→shard hash is
+        // opaque, but the sweep itself must be exactly second-chance.
+        let mut shard: Shard<&str, u32> = Shard::new();
+        assert_eq!(shard.insert_ready("a", Arc::new(1), 3), 0);
+        assert_eq!(shard.insert_ready("b", Arc::new(2), 3), 0);
+        assert_eq!(shard.insert_ready("c", Arc::new(3), 3), 0);
+        // A hit on "a" sets its reference bit (slot 0).
+        shard.refbit[0] = true;
+
+        // Full shard: the hand clears "a"'s bit (second chance) and
+        // evicts "b", the first unreferenced key.
+        assert_eq!(shard.insert_ready("d", Arc::new(4), 3), 1);
+        assert!(shard.map.contains_key("a"), "referenced key survives the sweep");
+        assert!(!shard.map.contains_key("b"), "unreferenced key is the victim");
+        assert!(shard.map.contains_key("c") && shard.map.contains_key("d"));
+        assert_eq!(shard.ring, vec!["a", "d", "c"], "victim slot is reused in place");
+
+        // Next insert: hand is at "c" (slot 2), whose bit is clear.
+        assert_eq!(shard.insert_ready("e", Arc::new(5), 3), 1);
+        assert!(!shard.map.contains_key("c"));
+        assert!(shard.map.contains_key("a"), "hand moved past a without evicting it");
+        assert_eq!(shard.ring, vec!["a", "d", "e"]);
+
+        // Now every bit is clear and the hand wraps to slot 0: "a"'s
+        // second chance is spent.
+        assert_eq!(shard.insert_ready("f", Arc::new(6), 3), 1);
+        assert!(!shard.map.contains_key("a"));
+        assert_eq!(shard.ring, vec!["f", "d", "e"]);
+    }
+
+    #[test]
+    fn inflight_entries_are_never_evicted() {
+        // A cache at capacity with an in-flight computation: landing
+        // new values must evict *landed* keys only, and the in-flight
+        // key must still land afterwards.
+        let cache: Arc<MemoCache<u32, u32>> = Arc::new(MemoCache::with_capacity(16));
+        for k in 0..100 {
+            cache.get_or_compute(k, || k);
+        }
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let c = cache.clone();
+        let g = gate.clone();
+        let slow = thread::spawn(move || {
+            c.get_or_compute(1_000, || {
+                g.wait(); // in flight while main churns the cache
+                thread::sleep(std::time::Duration::from_millis(30));
+                7
+            })
+        });
+        gate.wait();
+        for k in 100..300 {
+            cache.get_or_compute(k, || k);
+        }
+        let (v, outcome) = slow.join().expect("slow flight joins");
+        assert_eq!((*v, outcome), (7, CacheOutcome::Miss));
+        assert_eq!(*cache.peek(&1_000).expect("the flight landed despite churn"), 7);
+        assert!(cache.len() <= 16 + 1);
     }
 }

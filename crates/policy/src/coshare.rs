@@ -23,7 +23,32 @@ use std::collections::HashMap;
 use sc_cluster::{Allocation, ClusterState, Dispatch, NodeAlloc, NodeId, Policy, PolicyDecision};
 use sc_opportunity::colocation::simulate_pair;
 use sc_telemetry::record::JobId;
-use sc_workload::{GpuGroundTruth, JobSpec};
+use sc_workload::{GpuGroundTruth, JobSpec, WorkloadArchetype};
+
+/// How [`CosharePolicy`] decides a single-GPU job may share a board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShareGate {
+    /// Oracle utilization: the job's ground-truth mean SM level is
+    /// below a threshold (the original behavior).
+    MeanSm {
+        /// Mean SM utilization (percent) below which a job may share.
+        threshold: f64,
+    },
+    /// Archetype labels: idle-heavy and bursty-dev jobs share. With the
+    /// spec's ground-truth labels this is the oracle-label policy;
+    /// wrapped in [`crate::PredictedClassPolicy`] the labels are the
+    /// classifier's predictions, so the same gating rule runs on
+    /// predicted data and the A/B delta isolates classifier error.
+    ArchetypeLabel,
+}
+
+/// Whether an archetype is a sharing candidate under
+/// [`ShareGate::ArchetypeLabel`]: mostly-idle sessions and short
+/// bursty work interleave well; periodic trainers and plateau jobs
+/// keep their boards.
+pub fn shareable_archetype(archetype: WorkloadArchetype) -> bool {
+    matches!(archetype, WorkloadArchetype::IdleHeavy | WorkloadArchetype::BurstyDev)
+}
 
 /// One GPU with spare capacity: a running low-utilization single-GPU job.
 #[derive(Debug, Clone)]
@@ -37,9 +62,8 @@ struct HostSlot {
 /// Packs predicted-low-utilization single-GPU jobs two per GPU.
 #[derive(Debug)]
 pub struct CosharePolicy {
-    /// Predicted mean SM utilization (percent) below which a single-GPU
-    /// job may host or ride along.
-    pub sm_threshold: f64,
+    /// Eligibility rule for both sides of a pairing.
+    pub gate: ShareGate,
     /// Interference window, seconds: pair slowdowns are evaluated over
     /// at most this much overlap per side.
     pub window_secs: f64,
@@ -51,21 +75,32 @@ pub struct CosharePolicy {
 
 impl Default for CosharePolicy {
     fn default() -> Self {
-        CosharePolicy {
-            sm_threshold: 25.0,
-            window_secs: 1800.0,
-            slots: Vec::new(),
-            pending: HashMap::new(),
-        }
+        CosharePolicy::with_gate(ShareGate::MeanSm { threshold: 25.0 })
     }
 }
 
 impl CosharePolicy {
+    /// Builds the policy with an explicit eligibility gate.
+    pub fn with_gate(gate: ShareGate) -> Self {
+        CosharePolicy { gate, window_secs: 1800.0, slots: Vec::new(), pending: HashMap::new() }
+    }
+
+    /// The oracle-label arm: gate on the spec's ground-truth archetypes.
+    pub fn label_gated() -> Self {
+        CosharePolicy::with_gate(ShareGate::ArchetypeLabel)
+    }
+
     /// Whether `job` may participate in sharing (either side).
     fn eligible(&self, job: &JobSpec) -> bool {
-        job.gpus == 1
-            && job.idle_gpus == 0
-            && job.truth_params.as_ref().is_some_and(|t| t.mean_levels.sm < self.sm_threshold)
+        if job.gpus != 1 || job.idle_gpus != 0 {
+            return false;
+        }
+        match self.gate {
+            ShareGate::MeanSm { threshold } => {
+                job.truth_params.as_ref().is_some_and(|t| t.mean_levels.sm < threshold)
+            }
+            ShareGate::ArchetypeLabel => job.archetype.is_some_and(shareable_archetype),
+        }
     }
 
     fn bounded_run(&self, job: &JobSpec) -> f64 {
@@ -75,7 +110,10 @@ impl CosharePolicy {
 
 impl Policy for CosharePolicy {
     fn name(&self) -> &'static str {
-        "coshare"
+        match self.gate {
+            ShareGate::MeanSm { .. } => "coshare",
+            ShareGate::ArchetypeLabel => "coshare-oracle",
+        }
     }
 
     fn place(&mut self, job: &JobSpec, cluster: &ClusterState) -> Option<Allocation> {
@@ -152,6 +190,7 @@ mod tests {
             time_limit: 3600.0,
             class: None,
             outcome: PlannedOutcome::Complete { work_secs: 1200.0 },
+            archetype: None,
             truth_params: Some(TruthParams {
                 duration: 1400.0,
                 active_fraction: 0.4,
@@ -211,6 +250,30 @@ mod tests {
         let mut wide = low_sm_job(4, 44);
         wide.gpus = 2;
         assert!(p.place(&wide, &cluster).is_none(), "multi-GPU jobs keep whole boards");
+    }
+
+    #[test]
+    fn label_gate_ignores_sm_and_reads_archetypes() {
+        let mut p = CosharePolicy::label_gated();
+        assert_eq!(p.name(), "coshare-oracle");
+        let cluster = ClusterState::new(ClusterSpec::supercloud());
+
+        // Hot but idle-heavy-labeled: shares under the label gate.
+        let mut host = low_sm_job(1, 11);
+        host.truth_params.as_mut().unwrap().mean_levels.sm = 80.0;
+        host.archetype = Some(sc_workload::WorkloadArchetype::IdleHeavy);
+        let alloc = cluster.try_place(&host).unwrap();
+        p.dispatch(&host, &alloc, 0.0);
+
+        // Quiet but periodic-labeled: keeps its board.
+        let mut trainer = low_sm_job(2, 22);
+        trainer.archetype = Some(sc_workload::WorkloadArchetype::CnnPeriodic);
+        assert!(p.place(&trainer, &cluster).is_none(), "periodic trainers never share");
+
+        let mut dev = low_sm_job(3, 33);
+        dev.archetype = Some(sc_workload::WorkloadArchetype::BurstyDev);
+        let alloc = p.place(&dev, &cluster).expect("bursty-dev rides along");
+        assert_eq!(alloc.total_gpus(), 0);
     }
 
     #[test]

@@ -13,9 +13,12 @@
 //! on identical capacity, rather than confounding routing with a
 //! hardware change.
 
+use crate::coshare::CosharePolicy;
+use crate::predicted::PredictedClassPolicy;
 use crate::PolicySpec;
 use sc_cluster::{SimConfig, SimOutput, Simulation, SlowTierSpec};
 use sc_core::figures::PolicyAbFig;
+use sc_learn::{ArchetypePredictor, ClassifierConfig, EvalReport};
 use sc_obs::Obs;
 use sc_workload::Trace;
 
@@ -31,6 +34,9 @@ pub struct PolicyExperiment {
     pub base: SimConfig,
     /// The policy under test.
     pub spec: PolicySpec,
+    /// Classifier configuration, used only by
+    /// [`PolicySpec::CosharePredicted`].
+    pub classifier: ClassifierConfig,
 }
 
 /// Both arms' outputs plus the delta figure.
@@ -42,12 +48,37 @@ pub struct ExperimentResult {
     pub policy: SimOutput,
     /// The computed deltas.
     pub fig: PolicyAbFig,
+    /// The oracle-label arm ([`PolicySpec::CosharePredicted`] only):
+    /// the same gating rule as the policy arm, fed ground-truth labels.
+    pub oracle: Option<SimOutput>,
+    /// Baseline-vs-oracle deltas, when the oracle arm ran.
+    pub oracle_fig: Option<PolicyAbFig>,
+    /// Held-out evaluation of the classifier the policy arm trained,
+    /// when one did.
+    pub classifier_eval: Option<EvalReport>,
+}
+
+impl ExperimentResult {
+    /// Predicted-arm-vs-oracle-arm goodput delta, percentage points
+    /// (`None` unless the oracle arm ran). Negative means classifier
+    /// error cost goodput relative to perfect labels.
+    pub fn predicted_vs_oracle_goodput_pp(&self) -> Option<f64> {
+        let oracle = self.oracle_fig.as_ref()?;
+        Some((self.fig.policy.goodput_fraction - oracle.policy.goodput_fraction) * 100.0)
+    }
+
+    /// Predicted-arm-vs-oracle-arm mean queue-wait delta, seconds
+    /// (`None` unless the oracle arm ran).
+    pub fn predicted_vs_oracle_wait_secs(&self) -> Option<f64> {
+        let oracle = self.oracle_fig.as_ref()?;
+        Some(self.fig.policy.mean_queue_wait_secs - oracle.policy.mean_queue_wait_secs)
+    }
 }
 
 impl PolicyExperiment {
     /// Builds an experiment over a base configuration.
     pub fn new(base: SimConfig, spec: PolicySpec) -> Self {
-        PolicyExperiment { base, spec }
+        PolicyExperiment { base, spec, classifier: ClassifierConfig::default() }
     }
 
     /// The configuration both arms actually run (tiered experiments get
@@ -67,15 +98,37 @@ impl PolicyExperiment {
 
     /// Runs both arms; the *policy* arm emits into `obs`, so policy
     /// decision events land in the trace without baseline noise.
+    ///
+    /// For [`PolicySpec::CosharePredicted`] this trains the classifier
+    /// on the trace, runs the predicted-label arm as the policy arm,
+    /// and runs a third *oracle-label* arm (same gating rule, ground
+    /// truth labels) so the result can report what classifier error
+    /// cost.
     pub fn run_observed(&self, trace: &Trace, obs: &Obs<'_>) -> ExperimentResult {
         let cfg = self.config();
         let (baseline, _) = Simulation::new(cfg.clone()).run_observed(trace, &Obs::off());
-        let (policy, _) = match self.spec.build(&cfg.cluster) {
-            Some(mut p) => Simulation::new(cfg).run_policy(trace, obs, p.as_mut()),
-            None => Simulation::new(cfg).run_observed(trace, obs),
+        let mut classifier_eval = None;
+        let (policy, _) = if self.spec == PolicySpec::CosharePredicted {
+            let (predictor, eval) = ArchetypePredictor::train(trace, &self.classifier);
+            classifier_eval = Some(eval);
+            let mut p = PredictedClassPolicy::coshare(predictor);
+            Simulation::new(cfg.clone()).run_policy(trace, obs, &mut p)
+        } else {
+            match self.spec.build(&cfg.cluster) {
+                Some(mut p) => Simulation::new(cfg.clone()).run_policy(trace, obs, p.as_mut()),
+                None => Simulation::new(cfg.clone()).run_observed(trace, obs),
+            }
         };
         let fig = PolicyAbFig::compute(&self.spec.label(), &baseline, &policy);
-        ExperimentResult { baseline, policy, fig }
+        let (oracle, oracle_fig) = if self.spec == PolicySpec::CosharePredicted {
+            let mut p = CosharePolicy::label_gated();
+            let (out, _) = Simulation::new(cfg).run_policy(trace, &Obs::off(), &mut p);
+            let fig = PolicyAbFig::compute("coshare-oracle", &baseline, &out);
+            (Some(out), Some(fig))
+        } else {
+            (None, None)
+        };
+        ExperimentResult { baseline, policy, fig, oracle, oracle_fig, classifier_eval }
     }
 }
 
@@ -125,6 +178,30 @@ mod tests {
             assert!(p.sched.run_time() >= b.sched.run_time() - 1e-9);
         }
         assert!(r.fig.render().contains("powercap:150"));
+    }
+
+    #[test]
+    fn predicted_experiment_runs_three_arms_and_reports_deltas() {
+        let exp = PolicyExperiment::new(small_config(), PolicySpec::CosharePredicted);
+        let r = exp.run(&small_trace());
+        let eval = r.classifier_eval.as_ref().expect("predicted arm trains a classifier");
+        assert!(eval.accuracy > 0.6, "confusion: {:?}", eval.confusion);
+        let oracle = r.oracle.as_ref().expect("oracle arm runs alongside");
+        assert!(oracle.stats.policy_coshares > 0, "label gate must pair some jobs");
+        assert!(r.policy.stats.policy_coshares > 0, "predicted gate must pair some jobs");
+        let goodput_pp = r.predicted_vs_oracle_goodput_pp().expect("oracle deltas available");
+        assert!(goodput_pp.abs() < 20.0, "predicted vs oracle goodput delta: {goodput_pp}pp");
+        assert!(r.predicted_vs_oracle_wait_secs().is_some());
+        assert!(r.fig.render().contains("coshare-predicted"));
+        assert_eq!(r.oracle_fig.as_ref().unwrap().policy.label, "coshare-oracle");
+    }
+
+    #[test]
+    fn non_predicted_experiments_have_no_oracle_arm() {
+        let exp = PolicyExperiment::new(small_config(), PolicySpec::Coshare);
+        let r = exp.run(&small_trace());
+        assert!(r.oracle.is_none() && r.oracle_fig.is_none() && r.classifier_eval.is_none());
+        assert_eq!(r.predicted_vs_oracle_goodput_pp(), None);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   [`sc_opportunity::colocation`] phase-overlap model.
 //! - [`TieredPolicy`]: routes jobs between fast and slow tiers by
 //!   lifecycle class using [`sc_opportunity::tiering::RoutingPolicy`].
+//! - [`PredictedClassPolicy`]: wraps any of the above and replaces each
+//!   job's ground-truth labels with an `sc-learn` classifier's
+//!   predictions, so an A/B against the oracle-label arm isolates the
+//!   cost of classifier error.
 //!
 //! Every policy is a pure function of the simulation state it observes
 //! (ground truth is regenerated from per-job seeds), so policy runs are
@@ -28,11 +32,13 @@
 pub mod coshare;
 pub mod experiment;
 pub mod powercap;
+pub mod predicted;
 pub mod tiered;
 
-pub use coshare::CosharePolicy;
+pub use coshare::{shareable_archetype, CosharePolicy, ShareGate};
 pub use experiment::{ExperimentResult, PolicyExperiment};
 pub use powercap::PowerCapPolicy;
+pub use predicted::{lifecycle_for_archetype, PredictedClassPolicy};
 pub use tiered::TieredPolicy;
 
 use sc_cluster::{ClusterSpec, Policy};
@@ -53,6 +59,11 @@ pub enum PolicySpec {
     /// Route non-mature classes to a slow tier (the harness gives both
     /// arms the same two-tier hardware so only routing differs).
     Tiered,
+    /// Label-gated co-sharing driven by a classifier's *predicted*
+    /// archetypes instead of ground truth. The experiment harness also
+    /// runs the oracle-label arm so the report can show what classifier
+    /// error costs.
+    CosharePredicted,
 }
 
 impl PolicySpec {
@@ -70,6 +81,7 @@ impl PolicySpec {
         match s {
             "off" => Ok(PolicySpec::Off),
             "coshare" => Ok(PolicySpec::Coshare),
+            "coshare-predicted" => Ok(PolicySpec::CosharePredicted),
             "tiered" => Ok(PolicySpec::Tiered),
             _ => {
                 if let Some(w) = s.strip_prefix("powercap:") {
@@ -81,7 +93,8 @@ impl PolicySpec {
                     Ok(PolicySpec::PowerCap { cap_w })
                 } else {
                     Err(format!(
-                        "unknown policy {s:?}: expected off | powercap:<watts> | coshare | tiered"
+                        "unknown policy {s:?}: expected off | powercap:<watts> | coshare | \
+                         coshare-predicted | tiered"
                     ))
                 }
             }
@@ -94,6 +107,7 @@ impl PolicySpec {
             PolicySpec::Off => "off".to_string(),
             PolicySpec::PowerCap { cap_w } => format!("powercap:{}", cap_w.round() as i64),
             PolicySpec::Coshare => "coshare".to_string(),
+            PolicySpec::CosharePredicted => "coshare-predicted".to_string(),
             PolicySpec::Tiered => "tiered".to_string(),
         }
     }
@@ -102,11 +116,21 @@ impl PolicySpec {
     ///
     /// `cluster` must be the spec the simulation will actually run with
     /// (tier routing reads its slow-tier layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PolicySpec::CosharePredicted`], which needs a trace
+    /// to train its classifier on — use
+    /// [`PolicyExperiment::run_observed`], which trains the predictor
+    /// and runs the oracle arm alongside.
     pub fn build(&self, cluster: &ClusterSpec) -> Option<Box<dyn Policy>> {
         match *self {
             PolicySpec::Off => None,
             PolicySpec::PowerCap { cap_w } => Some(Box::new(PowerCapPolicy::new(cap_w))),
             PolicySpec::Coshare => Some(Box::new(CosharePolicy::default())),
+            PolicySpec::CosharePredicted => {
+                panic!("coshare-predicted trains on a trace; run it through PolicyExperiment")
+            }
             PolicySpec::Tiered => {
                 Some(Box::new(TieredPolicy::new(RoutingPolicy::DemoteNonMature, cluster.clone())))
             }
@@ -137,6 +161,16 @@ mod tests {
         for arm in PolicySpec::STANDARD_ARMS {
             assert_eq!(PolicySpec::parse(&arm.label()).unwrap(), arm, "{}", arm.label());
         }
+    }
+
+    #[test]
+    fn predicted_label_round_trips_but_build_needs_a_trace() {
+        assert_eq!(PolicySpec::parse("coshare-predicted").unwrap(), PolicySpec::CosharePredicted);
+        assert_eq!(PolicySpec::CosharePredicted.label(), "coshare-predicted");
+        let built = std::panic::catch_unwind(|| {
+            PolicySpec::CosharePredicted.build(&ClusterSpec::supercloud())
+        });
+        assert!(built.is_err(), "building without a trace must panic");
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod tests {
             time_limit: 7200.0,
             class: None,
             outcome: PlannedOutcome::Complete { work_secs: 3600.0 },
+            archetype: None,
             truth_params: Some(TruthParams {
                 duration: 4000.0,
                 active_fraction: 0.95,

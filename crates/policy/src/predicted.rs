@@ -1,0 +1,175 @@
+//! Closing the classification loop: route on *predicted* labels.
+//!
+//! Every other policy in this crate is an oracle — it reads the spec's
+//! ground-truth class or archetype, which a real scheduler never has.
+//! [`PredictedClassPolicy`] wraps an inner [`Policy`] and rewrites each
+//! job's `archetype` (and the lifecycle `class` derived from it) to
+//! what a trained [`ArchetypePredictor`] infers from the job's
+//! telemetry, before any hook of the inner policy sees the job. The
+//! inner policy's gating rule is untouched, so an A/B between the
+//! oracle-label arm and the wrapped arm isolates exactly the cost of
+//! classifier error.
+//!
+//! Predictions are memoized per job id (feature extraction streams up
+//! to an hour of telemetry) and computed lazily at the first hook that
+//! sees the job — a pure function of the job spec, so the policy stays
+//! byte-identical at any thread budget.
+
+use std::collections::HashMap;
+
+use sc_cluster::{Allocation, ClusterSpec, ClusterState, Dispatch, Policy};
+use sc_learn::ArchetypePredictor;
+use sc_opportunity::tiering::RoutingPolicy;
+use sc_telemetry::record::JobId;
+use sc_workload::{JobSpec, LifecycleClass, WorkloadArchetype};
+
+use crate::coshare::CosharePolicy;
+use crate::tiered::TieredPolicy;
+
+/// The lifecycle class a predicted archetype implies, for routing
+/// policies that read `job.class`: periodic trainers and plateau jobs
+/// behave like mature work, bursty jobs like development, idle-heavy
+/// sessions like IDEs.
+pub fn lifecycle_for_archetype(archetype: WorkloadArchetype) -> LifecycleClass {
+    match archetype {
+        WorkloadArchetype::CnnPeriodic | WorkloadArchetype::TransformerPlateau => {
+            LifecycleClass::Mature
+        }
+        WorkloadArchetype::BurstyDev => LifecycleClass::Development,
+        WorkloadArchetype::IdleHeavy => LifecycleClass::Ide,
+    }
+}
+
+/// Adapter that feeds an inner policy predicted labels instead of
+/// ground truth.
+#[derive(Debug)]
+pub struct PredictedClassPolicy {
+    inner: Box<dyn Policy>,
+    predictor: ArchetypePredictor,
+    name: &'static str,
+    predictions: HashMap<JobId, Option<WorkloadArchetype>>,
+}
+
+impl PredictedClassPolicy {
+    /// Wraps an arbitrary inner policy under `name`.
+    pub fn wrapping(
+        inner: Box<dyn Policy>,
+        predictor: ArchetypePredictor,
+        name: &'static str,
+    ) -> Self {
+        PredictedClassPolicy { inner, predictor, name, predictions: HashMap::new() }
+    }
+
+    /// The `--policy coshare-predicted` arm: label-gated co-sharing on
+    /// predicted archetypes.
+    pub fn coshare(predictor: ArchetypePredictor) -> Self {
+        PredictedClassPolicy::wrapping(
+            Box::new(CosharePolicy::label_gated()),
+            predictor,
+            "coshare-predicted",
+        )
+    }
+
+    /// Tier routing on predicted lifecycle classes.
+    pub fn tiered(predictor: ArchetypePredictor, cluster: ClusterSpec) -> Self {
+        PredictedClassPolicy::wrapping(
+            Box::new(TieredPolicy::new(RoutingPolicy::DemoteNonMature, cluster)),
+            predictor,
+            "tiered-predicted",
+        )
+    }
+
+    /// The job as the inner policy sees it: archetype and class
+    /// replaced by the (memoized) prediction. CPU jobs pass through
+    /// unchanged.
+    fn patched(&mut self, job: &JobSpec) -> JobSpec {
+        let predicted = match self.predictions.get(&job.job_id) {
+            Some(p) => *p,
+            None => {
+                let p = self.predictor.predict_job(job);
+                self.predictions.insert(job.job_id, p);
+                p
+            }
+        };
+        let mut patched = job.clone();
+        if let Some(archetype) = predicted {
+            patched.archetype = Some(archetype);
+            patched.class = Some(lifecycle_for_archetype(archetype));
+        }
+        patched
+    }
+}
+
+impl Policy for PredictedClassPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn admit(&mut self, job: &JobSpec, now: f64) {
+        let patched = self.patched(job);
+        self.inner.admit(&patched, now);
+    }
+
+    fn place(&mut self, job: &JobSpec, cluster: &ClusterState) -> Option<Allocation> {
+        let patched = self.patched(job);
+        self.inner.place(&patched, cluster)
+    }
+
+    fn dispatch(&mut self, job: &JobSpec, alloc: &Allocation, now: f64) -> Dispatch {
+        let patched = self.patched(job);
+        self.inner.dispatch(&patched, alloc, now)
+    }
+
+    fn tick(&mut self, now: f64, cluster: &ClusterState) {
+        self.inner.tick(now, cluster);
+    }
+
+    fn release(&mut self, job: JobId, now: f64) {
+        self.inner.release(job, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_learn::ClassifierConfig;
+    use sc_workload::{Trace, WorkloadSpec};
+
+    fn trained() -> ArchetypePredictor {
+        let trace = Trace::generate(&WorkloadSpec::supercloud().scaled(0.004), 5);
+        ArchetypePredictor::train(&trace, &ClassifierConfig::default()).0
+    }
+
+    #[test]
+    fn lifecycle_mapping_covers_all_archetypes() {
+        use WorkloadArchetype::*;
+        assert_eq!(lifecycle_for_archetype(CnnPeriodic), LifecycleClass::Mature);
+        assert_eq!(lifecycle_for_archetype(TransformerPlateau), LifecycleClass::Mature);
+        assert_eq!(lifecycle_for_archetype(BurstyDev), LifecycleClass::Development);
+        assert_eq!(lifecycle_for_archetype(IdleHeavy), LifecycleClass::Ide);
+    }
+
+    #[test]
+    fn patched_jobs_carry_predicted_labels() {
+        let trace = Trace::generate(&WorkloadSpec::supercloud().scaled(0.004), 5);
+        let mut p = PredictedClassPolicy::coshare(trained());
+        assert_eq!(p.name(), "coshare-predicted");
+        let gpu = trace.gpu_jobs().next().expect("gpu job").clone();
+        let patched = p.patched(&gpu);
+        let archetype = patched.archetype.expect("GPU jobs get a prediction");
+        assert_eq!(patched.class, Some(lifecycle_for_archetype(archetype)));
+        // Memoized: a second patch is identical.
+        assert_eq!(p.patched(&gpu), patched);
+        // Untouched fields pass through.
+        assert_eq!(patched.truth_seed, gpu.truth_seed);
+        assert_eq!(patched.outcome, gpu.outcome);
+    }
+
+    #[test]
+    fn cpu_jobs_pass_through_unchanged() {
+        let trace = Trace::generate(&WorkloadSpec::supercloud().scaled(0.004), 5);
+        let mut p = PredictedClassPolicy::coshare(trained());
+        let cpu = trace.jobs().iter().find(|j| j.truth_params.is_none()).expect("cpu job");
+        assert_eq!(&p.patched(cpu), cpu);
+    }
+}

@@ -90,6 +90,7 @@ mod tests {
             time_limit: 3600.0,
             class: Some(class),
             outcome: PlannedOutcome::Complete { work_secs: 600.0 },
+            archetype: None,
             truth_params: None,
             idle_gpus: 0,
             truth_seed: 0,

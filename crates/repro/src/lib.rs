@@ -19,6 +19,7 @@
 
 pub use sc_cluster as cluster;
 pub use sc_core as core;
+pub use sc_learn as learn;
 pub use sc_obs as obs;
 pub use sc_opportunity as opportunity;
 pub use sc_par as par;
@@ -37,9 +38,10 @@ pub mod prelude {
     };
     pub use sc_core::{
         classify_record, corrupt_and_ingest, gpu_views, ingest, user_stats, AnalysisReport,
-        DataQualityError, DataQualityFig, DatasetReport, GoodputFig, IngestOutput, IngestReport,
-        PipelineError, Provenance, QuarantineAction,
+        ClassifierFig, DataQualityError, DataQualityFig, DatasetReport, GoodputFig, IngestOutput,
+        IngestReport, PipelineError, Provenance, QuarantineAction,
     };
+    pub use sc_learn::{ArchetypePredictor, ClassifierConfig};
     pub use sc_obs::{JsonlSink, Obs, RingSink, StageLog, TraceLevel, TraceSink};
     pub use sc_opportunity::OpportunityReport;
     pub use sc_policy::{

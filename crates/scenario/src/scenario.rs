@@ -94,6 +94,24 @@ impl Default for WorkloadScenario {
     }
 }
 
+/// Workload classification: whether the pipeline trains the `sc-learn`
+/// archetype classifier, plus optional overrides of its defaults. Only
+/// explicit overrides serialize, so a round-tripped scenario stays
+/// equal and the resolved [`sc_learn::ClassifierConfig`] tracks the
+/// library defaults when no override is given.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassifierScenario {
+    /// Train and evaluate the classifier as a pipeline stage.
+    pub enabled: bool,
+    /// Override: decision-forest size (trees).
+    pub trees: Option<usize>,
+    /// Override: forest-training seed.
+    pub seed: Option<u64>,
+    /// Override: train-split fraction, in (0, 1) so both splits stay
+    /// populated.
+    pub train_fraction: Option<f64>,
+}
+
 /// Failure injection: taxonomy profile plus optional MTBF rescale.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailureScenario {
@@ -133,8 +151,10 @@ pub struct Scenario {
     /// Data-quality corruption profile name (`off` skips the stage).
     pub data_quality: String,
     /// Policy A/B arm in CLI syntax (`off`, `powercap:W`, `coshare`,
-    /// `tiered`).
+    /// `coshare-predicted`, `tiered`).
     pub policy: String,
+    /// Workload-classification stage.
+    pub classifier: ClassifierScenario,
 }
 
 impl Default for Scenario {
@@ -152,6 +172,7 @@ impl Default for Scenario {
             failures: FailureScenario::default(),
             data_quality: "off".to_string(),
             policy: "off".to_string(),
+            classifier: ClassifierScenario::default(),
         }
     }
 }
@@ -194,6 +215,16 @@ impl<'a> Reader<'a> {
             Some(e) => match &e.value {
                 TomlValue::String(s) => Ok(Some((s.clone(), e.line))),
                 _ => Err(self.type_err(e, "string")),
+            },
+        }
+    }
+
+    fn bool_opt(&self, key: &str) -> Result<Option<(bool, usize)>, ScenarioError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match e.value {
+                TomlValue::Bool(v) => Ok(Some((v, e.line))),
+                _ => Err(self.type_err(e, "boolean")),
             },
         }
     }
@@ -290,8 +321,16 @@ fn fmt_f64(v: f64) -> String {
 
 impl Scenario {
     /// Section names the schema knows.
-    const SECTIONS: [&'static str; 7] =
-        ["scenario", "cluster", "workload", "arrivals", "failures", "data_quality", "policy"];
+    const SECTIONS: [&'static str; 8] = [
+        "scenario",
+        "cluster",
+        "workload",
+        "arrivals",
+        "failures",
+        "data_quality",
+        "policy",
+        "classifier",
+    ];
 
     /// Parses and validates a scenario document.
     ///
@@ -345,6 +384,7 @@ impl Scenario {
                 DataQualityProfile::parse(name).is_some()
             })?;
         let policy = Self::parse_policy(&doc)?;
+        let classifier = Self::parse_classifier(&doc)?;
 
         Ok(Scenario {
             name,
@@ -357,6 +397,7 @@ impl Scenario {
             failures,
             data_quality,
             policy,
+            classifier,
         })
     }
 
@@ -666,6 +707,49 @@ impl Scenario {
         }
     }
 
+    fn parse_classifier(doc: &crate::toml::TomlDoc) -> Result<ClassifierScenario, ScenarioError> {
+        let Some(sec) = doc.section("classifier") else {
+            return Ok(ClassifierScenario::default());
+        };
+        let r = Reader { sec };
+        r.check_keys(&["enabled", "trees", "seed", "train_fraction"])?;
+        let mut c = ClassifierScenario::default();
+        if let Some((v, _)) = r.bool_opt("enabled")? {
+            c.enabled = v;
+        }
+        if let Some((v, line)) = r.u64_opt("trees")? {
+            check(line, "[classifier] trees", v >= 1, || "need at least one tree".to_string())?;
+            c.trees = Some(v as usize);
+        }
+        c.seed = r.u64_opt("seed")?.map(|(v, _)| v);
+        if let Some((v, line)) = r.f64_opt("train_fraction")? {
+            check(line, "[classifier] train_fraction", v > 0.0 && v < 1.0, || {
+                format!("{v} must be in (0, 1) so both splits stay populated")
+            })?;
+            c.train_fraction = Some(v);
+        }
+        Ok(c)
+    }
+
+    /// The resolved classifier configuration: the `sc-learn` defaults
+    /// with this scenario's overrides applied. Identical to
+    /// [`sc_learn::ClassifierConfig::default`] when the `[classifier]`
+    /// section sets nothing, so a scenario-driven run matches the
+    /// flag-driven one byte-for-byte.
+    pub fn classifier_config(&self) -> sc_learn::ClassifierConfig {
+        let mut cfg = sc_learn::ClassifierConfig::default();
+        if let Some(v) = self.classifier.trees {
+            cfg.trees = v;
+        }
+        if let Some(v) = self.classifier.seed {
+            cfg.seed = v;
+        }
+        if let Some(v) = self.classifier.train_fraction {
+            cfg.train_fraction = v;
+        }
+        cfg
+    }
+
     /// The unscaled workload spec: preset, overrides, and arrival
     /// process applied.
     pub fn workload_spec(&self) -> WorkloadSpec {
@@ -836,6 +920,14 @@ impl Scenario {
 
         out.push_str("\n[policy]\n");
         push_kv(&mut out, "arm", &TomlValue::String(self.policy.clone()));
+
+        out.push_str("\n[classifier]\n");
+        push_kv(&mut out, "enabled", &TomlValue::Bool(self.classifier.enabled));
+        push_opt_usize(&mut out, "trees", self.classifier.trees);
+        if let Some(v) = self.classifier.seed {
+            push_kv(&mut out, "seed", &TomlValue::Integer(v as i64));
+        }
+        push_opt_f64(&mut out, "train_fraction", self.classifier.train_fraction);
         out
     }
 
@@ -907,6 +999,15 @@ impl Scenario {
         }
         out.push_str(&format!("  data-quality: {}\n", self.data_quality));
         out.push_str(&format!("  policy:       {}\n", self.policy));
+        if self.classifier.enabled {
+            let cfg = self.classifier_config();
+            out.push_str(&format!(
+                "  classifier:   on ({} trees, seed {}, train fraction {})\n",
+                cfg.trees, cfg.seed, cfg.train_fraction
+            ));
+        } else {
+            out.push_str("  classifier:   off\n");
+        }
         out.push_str(&format!("  defaults:     scale {}, seed {}\n", self.scale, self.seed));
         out
     }
@@ -1048,6 +1149,57 @@ mod tests {
         let s = Scenario::parse("[scenario]\nname = \"p\"\n[workload]\npreset = \"philly\"\n")
             .expect("valid");
         assert_eq!(s.workload_spec(), WorkloadSpec::philly());
+    }
+
+    #[test]
+    fn classifier_section_parses_and_resolves_overrides() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"c\"\n[classifier]\nenabled = true\ntrees = 31\n\
+             seed = 9\ntrain_fraction = 0.6\n",
+        )
+        .expect("valid");
+        assert!(s.classifier.enabled);
+        let cfg = s.classifier_config();
+        assert_eq!((cfg.trees, cfg.seed), (31, 9));
+        assert_eq!(cfg.train_fraction, 0.6);
+        // Untouched knobs keep the library defaults.
+        let defaults = sc_learn::ClassifierConfig::default();
+        assert_eq!(cfg.max_jobs, defaults.max_jobs);
+        assert_eq!(cfg.period_secs, defaults.period_secs);
+        // Round trip: only the overrides serialize.
+        let round = Scenario::parse(&s.to_toml()).expect("canonical form parses");
+        assert_eq!(s, round);
+    }
+
+    #[test]
+    fn absent_classifier_section_matches_library_defaults() {
+        let s = Scenario::parse(MINIMAL).expect("valid");
+        assert!(!s.classifier.enabled);
+        assert_eq!(s.classifier_config(), sc_learn::ClassifierConfig::default());
+    }
+
+    #[test]
+    fn classifier_diagnostics_are_typed() {
+        let err =
+            Scenario::parse("[scenario]\nname = \"x\"\n[classifier]\ntrees = 0\n").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[classifier] trees");
+        assert_eq!(err.line, 4);
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[classifier]\ntrain_fraction = 1.0\n")
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[classifier] train_fraction");
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[classifier]\nenabled = \"yes\"\n")
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Type { .. }), "{err}");
+        assert_eq!(err.context, "[classifier] enabled");
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[classifier]\nforest_size = 5\n")
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownKey);
+        assert_eq!(err.context, "[classifier] forest_size");
     }
 
     #[test]

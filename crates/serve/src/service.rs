@@ -48,6 +48,11 @@ pub struct ServeConfig {
     /// Memoize responses. Off serves every request cold — only useful
     /// for baselines and cache-off comparisons.
     pub cache: bool,
+    /// Landed-response bound for the memo cache; 0 means unbounded
+    /// (the pre-eviction behavior). Overflow evicts by the cache's
+    /// deterministic second-chance sweep; an evicted response simply
+    /// recomputes to the same bytes on its next request.
+    pub cache_capacity: usize,
     /// Minimum user population, whatever the scale. User-level figures
     /// (10–12, 17) degenerate below a few dozen users.
     pub users_floor: usize,
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             seed: 42,
             threads: 0,
             cache: true,
+            cache_capacity: 256,
             users_floor: 64,
             tracing: false,
             scenario: None,
@@ -88,6 +94,10 @@ pub struct ServeMetrics {
     pub misses: SharedCounter,
     /// Responses that waited on another request's in-flight compute.
     pub coalesced: SharedCounter,
+    /// Cached responses evicted by the second-chance sweep (mirrors
+    /// the cache's monotone eviction total; 0 when the cache is
+    /// unbounded or off).
+    pub evictions: SharedCounter,
 }
 
 /// One answered query.
@@ -193,7 +203,7 @@ impl Service {
             trace,
             sim_config,
             out,
-            cache: MemoCache::new(),
+            cache: MemoCache::with_capacity(config.cache_capacity),
             exec: Executor::new(threads),
             metrics: ServeMetrics::default(),
             stage_log: StageLog::new(),
@@ -263,6 +273,12 @@ impl Service {
             CacheOutcome::Hit => self.metrics.hits.incr(),
             CacheOutcome::Miss => self.metrics.misses.incr(),
             CacheOutcome::Coalesced => self.metrics.coalesced.incr(),
+        }
+        // Only a miss can have pushed the cache over capacity, so the
+        // mirror only needs refreshing here; `record_at_least` keeps
+        // concurrent misses from double-counting.
+        if outcome == CacheOutcome::Miss {
+            self.metrics.evictions.record_at_least(self.cache.stats().evictions);
         }
         Response { body, outcome }
     }
@@ -433,6 +449,29 @@ mod tests {
         let again = tiny.query_blocking(&q);
         assert_eq!(first.body, again.body);
         assert_eq!(again.outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_recomputes_identical_bytes() {
+        let s = Service::build(ServeConfig {
+            scale: 0.0001,
+            users_floor: 1,
+            threads: 1,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        });
+        let surface: Vec<Query> =
+            Query::point_queries().into_iter().chain(Query::figure_queries()).collect();
+        assert!(surface.len() > 16, "need more distinct queries than cache slots");
+        let first: Vec<Arc<String>> = surface.iter().map(|q| s.query_blocking(q).body).collect();
+        let stats = s.cache_stats();
+        assert!(stats.evictions > 0, "an overfull cache must evict: {stats:?}");
+        assert_eq!(s.metrics().evictions.get(), stats.evictions, "metrics mirror the cache");
+        // Second pass: hits and post-eviction recomputes alike must
+        // reproduce the first pass byte-for-byte.
+        for (q, body) in surface.iter().zip(&first) {
+            assert_eq!(&s.query_blocking(q).body, body, "{}", q.token());
+        }
     }
 
     #[test]

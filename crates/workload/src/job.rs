@@ -6,7 +6,7 @@
 //! timeout — the observable side of the lifecycle classes of Sec. VI),
 //! and the seed + parameters of its telemetry ground truth.
 
-use crate::spec::{ClassSpec, LifecycleClass, WorkloadSpec};
+use crate::spec::{ClassSpec, LifecycleClass, WorkloadArchetype, WorkloadSpec};
 use crate::truth::{JobGroundTruth, ResourceLevels, TruthParams};
 use crate::user::UserProfile;
 use rand::rngs::StdRng;
@@ -80,6 +80,11 @@ pub struct JobSpec {
     pub class: Option<LifecycleClass>,
     /// Planned termination behaviour.
     pub outcome: PlannedOutcome,
+    /// Hidden workload archetype shaping the telemetry ground truth
+    /// (`None` for CPU jobs). Like [`JobSpec::class`], analysis code
+    /// never reads this directly — `sc-learn` recovers it from the
+    /// sampled series and scores itself against this label.
+    pub archetype: Option<WorkloadArchetype>,
     /// Telemetry ground-truth parameters (`None` for CPU jobs).
     pub truth_params: Option<TruthParams>,
     /// Number of the job's GPUs that sit idle throughout.
@@ -146,7 +151,7 @@ impl<'a> JobFactory<'a> {
         let gpus = self.gpu_counts.sample_value(rng).max(1).min(user.gpu_ceiling.max(1));
 
         let (time_limit, outcome, run_secs) = self.draw_outcome(rng, class, cs, user, gpus);
-        let truth_params = self.draw_truth_params(rng, class, cs, user, interface, run_secs);
+        let mut truth_params = self.draw_truth_params(rng, class, cs, user, interface, run_secs);
         let idle_gpus = if gpus > 1 && rng.gen::<f64>() < self.spec.multi_gpu_idle_probability {
             let min_idle = gpus.div_ceil(2);
             rng.gen_range(min_idle..gpus)
@@ -155,6 +160,12 @@ impl<'a> JobFactory<'a> {
         };
 
         let truth_seed = splitmix(job_id.0 ^ 0x9e37_79b9_7f4a_7c15);
+        // The archetype and its signature hash off the seed rather than
+        // drawing from `rng`, like the recovery attributes below: adding
+        // them must not shift the RNG stream any existing trace field is
+        // derived from.
+        let archetype = assign_archetype(class, truth_seed);
+        apply_archetype_signature(&mut truth_params, archetype, truth_seed);
         JobSpec {
             job_id,
             user: user.id,
@@ -166,6 +177,7 @@ impl<'a> JobFactory<'a> {
             time_limit,
             class: Some(class),
             outcome,
+            archetype: Some(archetype),
             truth_params: Some(truth_params),
             idle_gpus,
             truth_seed,
@@ -209,6 +221,7 @@ impl<'a> JobFactory<'a> {
             time_limit: 86_400.0,
             class: None,
             outcome: PlannedOutcome::Complete { work_secs: runtime },
+            archetype: None,
             truth_params: None,
             idle_gpus: 0,
             truth_seed: splitmix(job_id.0),
@@ -403,6 +416,62 @@ const CHECKPOINT_ADOPTION: f64 = 0.85;
 fn checkpointable(class: LifecycleClass, truth_seed: u64) -> bool {
     matches!(class, LifecycleClass::Mature | LifecycleClass::Exploratory)
         && hash_unit(truth_seed ^ 0xc4ec_7015) < CHECKPOINT_ADOPTION
+}
+
+/// Assigns the hidden archetype from the lifecycle class and the job's
+/// seed — a pure hash, so the assignment consumes no RNG draws.
+/// Debug runs are bursty, IDE sessions idle-heavy; training-style work
+/// splits evenly between CNN-like and transformer-like shapes.
+fn assign_archetype(class: LifecycleClass, truth_seed: u64) -> WorkloadArchetype {
+    match class {
+        LifecycleClass::Development => WorkloadArchetype::BurstyDev,
+        LifecycleClass::Ide => WorkloadArchetype::IdleHeavy,
+        LifecycleClass::Mature | LifecycleClass::Exploratory => {
+            if hash_unit(truth_seed ^ 0xa11c_4a7e) < 0.5 {
+                WorkloadArchetype::CnnPeriodic
+            } else {
+                WorkloadArchetype::TransformerPlateau
+            }
+        }
+    }
+}
+
+/// Applies the archetype's phase-skeleton signature to freshly drawn
+/// truth parameters. Only the wave geometry and the phase-length scale
+/// move — mean levels, active fractions and interval sigmas stay on the
+/// paper's calibrated class targets — and every adjustment is a pure
+/// hash of the seed, so the trace RNG stream is untouched.
+fn apply_archetype_signature(p: &mut TruthParams, archetype: WorkloadArchetype, truth_seed: u64) {
+    let jitter = |salt: u64| hash_unit(truth_seed ^ salt);
+    match archetype {
+        WorkloadArchetype::CnnPeriodic => {
+            // Epoch-periodic occupancy: a strong utilization wave with
+            // a tens-of-seconds period.
+            p.wave_frac = 0.50 + 0.25 * jitter(0x00c7_71a1);
+            p.wave_period = 24.0 + 40.0 * jitter(0x00c7_71a2);
+        }
+        WorkloadArchetype::TransformerPlateau => {
+            // Long, flat plateaus: stretch the phase-length scale and
+            // flatten the wave to a ripple. Phases shorter than the
+            // (long) wave period suppress their wave entirely.
+            p.wave_frac = 0.03 + 0.04 * jitter(0x7a15_0001);
+            p.wave_period = 300.0 + 300.0 * jitter(0x7a15_0002);
+            p.mean_active_secs = (p.mean_active_secs * 3.0).min(2700.0);
+        }
+        WorkloadArchetype::BurstyDev => {
+            // Choppy debug bursts: short phases with a fast, moderate
+            // oscillation.
+            p.wave_frac = 0.18 + 0.18 * jitter(0xdeb0_0001);
+            p.wave_period = 8.0 + 10.0 * jitter(0xdeb0_0002);
+            p.mean_active_secs = (p.mean_active_secs * 0.3).max(20.0);
+        }
+        WorkloadArchetype::IdleHeavy => {
+            // Near-idle sessions: long stretches with no oscillation to
+            // speak of.
+            p.wave_frac = 0.02 + 0.03 * jitter(0x1d1e_0001);
+            p.wave_period = 120.0 + 120.0 * jitter(0x1d1e_0002);
+        }
+    }
 }
 
 /// Requeue cap by interface: restarting an interactive session without

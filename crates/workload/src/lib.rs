@@ -46,7 +46,7 @@ pub mod user;
 pub use arrivals::ArrivalIntensity;
 pub use job::{JobFactory, JobSpec, PlannedOutcome, DEFAULT_MAX_RESTARTS};
 pub use power::PowerModel;
-pub use spec::{ArrivalProcess, ClassSpec, LifecycleClass, WorkloadSpec};
+pub use spec::{ArrivalProcess, ClassSpec, LifecycleClass, WorkloadArchetype, WorkloadSpec};
 pub use trace::Trace;
 pub use truth::{GpuGroundTruth, JobGroundTruth, ResourceLevels, TruthParams};
 pub use user::{UserPopulation, UserProfile};

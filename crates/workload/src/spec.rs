@@ -80,6 +80,63 @@ impl std::fmt::Display for LifecycleClass {
     }
 }
 
+/// The hidden workload archetype behind a GPU job's telemetry shape.
+///
+/// The MIT Supercloud dataset spawned a workload-classification
+/// challenge (Weiss et al., arXiv:2204.05839): infer what *kind* of
+/// program produced a job's CPU/GPU/memory time series. The generator
+/// mirrors that setup — each GPU job carries a hidden archetype that
+/// shapes its phase skeleton (wave geometry and phase lengths only;
+/// mean levels and active fractions stay on the paper's calibrated
+/// class targets), and `sc-learn` tries to recover the label from the
+/// sampled series alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadArchetype {
+    /// CNN-style training: short, strongly periodic epochs — a
+    /// pronounced utilization wave with a tens-of-seconds period.
+    CnnPeriodic,
+    /// Transformer-style training: long, flat utilization plateaus with
+    /// barely any within-phase oscillation.
+    TransformerPlateau,
+    /// Interactive development / debugging: short bursts of activity
+    /// with choppy, fast oscillation between them.
+    BurstyDev,
+    /// Idle-heavy notebook (IDE) sessions: the GPU sits near-idle in
+    /// long flat stretches.
+    IdleHeavy,
+}
+
+impl WorkloadArchetype {
+    /// All archetypes, in presentation (and label-index) order.
+    pub const ALL: [WorkloadArchetype; 4] = [
+        WorkloadArchetype::CnnPeriodic,
+        WorkloadArchetype::TransformerPlateau,
+        WorkloadArchetype::BurstyDev,
+        WorkloadArchetype::IdleHeavy,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadArchetype::CnnPeriodic => "cnn-periodic",
+            WorkloadArchetype::TransformerPlateau => "transformer-plateau",
+            WorkloadArchetype::BurstyDev => "bursty-dev",
+            WorkloadArchetype::IdleHeavy => "idle-heavy",
+        }
+    }
+
+    /// The archetype's index in [`WorkloadArchetype::ALL`].
+    pub fn index(&self) -> usize {
+        WorkloadArchetype::ALL.iter().position(|a| a == self).expect("archetype present in ALL")
+    }
+}
+
+impl std::fmt::Display for WorkloadArchetype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Multi-GPU size distribution (Fig. 13a): `(gpu_count, weight)` pairs.
 pub type GpuCountMix = Vec<(u32, f64)>;
 

@@ -37,6 +37,11 @@ Suites:
              memoization layer exists to provide. The report must also
              carry the `scenario` label (the service's cache-key
              dimension) and the response `digest`.
+  classifier --classifier JSON: a `repro_figures --classifier-json`
+             report; held-out forest accuracy must clear the floor and
+             the predicted-vs-oracle goodput delta must sit inside the
+             band (a null delta means the oracle arm never ran, which
+             fails — the closed loop is the thing under test).
 
 --serve-compare FILE... additionally requires the response digests of
 two or more serve_load reports to be identical — the byte-level
@@ -55,6 +60,7 @@ usage: check_bench.py [BASELINE SMOKE] [--tolerance 2.0]
                       [--placement LOG] [--placement-overhead 5.0]
                       [--streaming LOG]
                       [--serve JSON] [--serve-compare JSON JSON...]
+                      [--classifier JSON]
                       [--selftest]
 """
 
@@ -103,6 +109,23 @@ SERVE_GATES = [
     Gate("floor", "cache_storm.hit_rate", 0.95),
     Gate("floor", "steady.hit_rate", 0.95),
     Gate("floor", "storm_speedup", 10.0),
+]
+
+
+# Gates for a `repro_figures --classifier-json` report. The accuracy
+# floor is deliberately below the ~0.9 the forest reaches at smoke
+# scale — the gate catches a broken feature/split/training path, not
+# seed jitter. The goodput band bounds the cost of routing placement on
+# predicted instead of oracle labels: a large negative delta means
+# classifier errors are eating co-location goodput, a large positive
+# one means the "oracle" arm is mislabeled. train/test floors assert
+# the held-out split actually happened.
+CLASSIFIER_GATES = [
+    Gate("floor", "accuracy", 0.85),
+    Gate("floor", "goodput_delta_pp", -10.0),
+    Gate("ceiling", "goodput_delta_pp", 10.0),
+    Gate("floor", "train_jobs", 50),
+    Gate("floor", "test_jobs", 20),
 ]
 
 
@@ -224,6 +247,16 @@ def check_serve_compare(paths):
     return failures
 
 
+def check_classifier(path):
+    report = load(path)
+    # A null goodput_delta_pp (oracle arm never ran) drops out of the
+    # metric dict here, so the band gates fail it as missing — the
+    # closed predicted-vs-oracle loop is exactly what this suite gates.
+    metrics = {k: v for k, v in report.items()
+               if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    return apply_gates("classifier", metrics, CLASSIFIER_GATES)
+
+
 def check_repro(baseline_path, smoke_path, tolerance, max_rss_ratio):
     base = load(baseline_path)
     smoke = load(smoke_path)
@@ -314,6 +347,10 @@ def selftest():
          lambda: check_repro(fixture("repro_baseline.json"),
                              fixture("repro_smoke_fail.json"), 2.0, 1.5),
          False),
+        ("classifier pass",
+         lambda: check_classifier(fixture("classifier_pass.json")), True),
+        ("classifier fail",
+         lambda: check_classifier(fixture("classifier_fail.json")), False),
     ]
     wrong = []
     for name, run, expect_pass in cases:
@@ -379,6 +416,12 @@ def main():
         "be identical (thread-budget determinism)",
     )
     ap.add_argument(
+        "--classifier",
+        metavar="JSON",
+        help="repro_figures --classifier-json report to gate (accuracy "
+        "floor, predicted-vs-oracle goodput band, split-size floors)",
+    )
+    ap.add_argument(
         "--selftest",
         action="store_true",
         help="judge every suite against its committed scripts/fixtures/ "
@@ -403,11 +446,13 @@ def main():
         failures += check_serve(args.serve)
     if args.serve_compare:
         failures += check_serve_compare(args.serve_compare)
+    if args.classifier:
+        failures += check_classifier(args.classifier)
     if args.baseline:
         failures += check_repro(args.baseline, args.smoke, args.tolerance,
                                 args.max_rss_ratio)
     if not (args.placement or args.streaming or args.serve
-            or args.serve_compare or args.baseline):
+            or args.serve_compare or args.classifier or args.baseline):
         ap.error("nothing to do: give BASELINE SMOKE, a suite flag, "
                  "or --selftest")
 

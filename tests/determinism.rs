@@ -455,6 +455,108 @@ fn concurrent_identical_queries_coalesce_onto_one_computation() {
     }
 }
 
+const GOLDEN_CLASSIFIER: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/classifier_confusion_scale001_seed42.txt"
+);
+
+/// One classifier evaluation over the standard 1%-scale world: train
+/// the seeded forest with the stock [`ClassifierConfig`] and render the
+/// confusion-matrix figure.
+fn classifier_report(seed: u64) -> ClassifierFig {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, seed);
+    let (_, eval) = ArchetypePredictor::train(&trace, &ClassifierConfig::default());
+    eval.to_fig()
+}
+
+/// Golden-classifier regression: the rendered confusion matrix for the
+/// stock config at a fixed seed must match the committed bytes exactly.
+/// The render covers the train/test split sizes, per-archetype
+/// precision/recall, and both forest and centroid accuracy, so any
+/// drift in features, split hashing, or tree training shows up here.
+/// Intentional changes regenerate via `scripts/update_golden.sh` (or
+/// `SC_REGEN_GOLDEN=1`) and justify the diff in review.
+#[test]
+fn golden_classifier_confusion_matches_committed_bytes() {
+    let rendered = classifier_report(42).render();
+    if std::env::var("SC_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_CLASSIFIER, &rendered).expect("write golden classifier report");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_CLASSIFIER)
+        .expect("golden classifier report committed at tests/golden/");
+    assert_eq!(
+        rendered, golden,
+        "classifier confusion report diverges from golden; regenerate with \
+         scripts/update_golden.sh if intentional"
+    );
+}
+
+/// The learning subsystem under the deterministic-parallelism rule:
+/// feature extraction fans out across jobs but merges in input order,
+/// and the forest's bootstrap/feature draws are seeded per tree, so the
+/// evaluation report — rendered text and SVG alike — must be
+/// byte-identical between a 1-thread and an N-thread run (the CI
+/// matrix sweeps N over 1, 4, 8 via `SC_PAR_THREADS`).
+#[test]
+fn classifier_training_is_deterministic_across_thread_budgets() {
+    let saved = sc_repro::par::current_threads();
+    sc_repro::par::set_max_threads(1);
+    let a = classifier_report(7);
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let b = classifier_report(7);
+    sc_repro::par::set_max_threads(saved);
+
+    assert_eq!(a, b, "classifier evaluation must not depend on the thread budget");
+    assert_eq!(a.render(), b.render(), "confusion report text must not depend on threads");
+    assert_eq!(a.to_svg(), b.to_svg(), "confusion heatmap SVG must not depend on threads");
+}
+
+/// The closed loop under the same rule: the predicted-label co-share
+/// arm trains a classifier, routes on its labels, and runs the oracle
+/// arm beside it, and every artifact of that run — both policy-arm
+/// dataset JSONs, both delta figures, and the embedded classifier
+/// evaluation — must be byte-identical between a 1-thread and an
+/// N-thread run.
+#[test]
+fn coshare_predicted_policy_is_deterministic_across_thread_budgets() {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, 9);
+    let run_predicted = || {
+        let exp = PolicyExperiment::new(
+            SimConfig { detailed_series_jobs: 0, ..Default::default() },
+            PolicySpec::CosharePredicted,
+        );
+        let r = exp.run(&trace);
+        let oracle = r.oracle.as_ref().expect("predicted arm always runs its oracle twin");
+        let oracle_fig = r.oracle_fig.as_ref().expect("oracle delta figure");
+        let eval = r.classifier_eval.as_ref().expect("predicted arm trains a classifier");
+        (
+            r.policy.dataset.to_json().expect("serializable"),
+            oracle.dataset.to_json().expect("serializable"),
+            r.fig.render(),
+            oracle_fig.render(),
+            eval.to_fig().render(),
+        )
+    };
+
+    let saved = sc_repro::par::current_threads();
+    sc_repro::par::set_max_threads(1);
+    let a = run_predicted();
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let b = run_predicted();
+    sc_repro::par::set_max_threads(saved);
+
+    assert_eq!(a.0, b.0, "predicted-arm Dataset JSON must not depend on threads");
+    assert_eq!(a.1, b.1, "oracle-arm Dataset JSON must not depend on threads");
+    assert_eq!(a.2, b.2, "predicted delta figure must not depend on threads");
+    assert_eq!(a.3, b.3, "oracle delta figure must not depend on threads");
+    assert_eq!(a.4, b.4, "embedded classifier evaluation must not depend on threads");
+}
+
 /// The failure subsystem under the same rule: the pre-computed failure
 /// schedule, every requeue decision (job fates), the goodput ledger,
 /// and the rendered figures must be byte-identical between a 1-thread
