@@ -11,6 +11,8 @@
 //!               [--policy off|powercap:WATTS|coshare|coshare-predicted|tiered]
 //!               [--data-quality off|supercloud|lossy|hostile]
 //!               [--classify] [--classifier-json FILE]
+//!               [--reliability] [--growth FACTORS]
+//!               [--reliability-json FILE]
 //! ```
 //!
 //! With no arguments this runs the full 125-day / 74,820-job Supercloud
@@ -42,6 +44,15 @@
 //! oracle-label arm, so the report shows what classifier error costs
 //! in goodput and queue wait. `--classifier-json` writes the gate
 //! metrics `scripts/check_bench.py --classifier` consumes.
+//!
+//! `--reliability` runs the reliability-at-scale study over the same
+//! trace: a per-size-class ETTF/ETTR/failure-rate table under the
+//! job-footprint-aware hazard model, a goodput frontier across MTBF
+//! settings, and a checkpoint-interval sweep around the per-class
+//! Young/Daly optimum with the simulated argmax overlaid on the
+//! analytic prediction. `--growth 2,8,32` adds the cluster-growth
+//! replay (same workload, scaled fleet); `--reliability-json` writes
+//! the gate metrics `scripts/check_bench.py --reliability` consumes.
 //!
 //! `--trace FILE` streams the simulator's deterministic sim-time trace
 //! (submit/start/finish/fault/kill/requeue, attempt and node-down
@@ -78,6 +89,9 @@ struct Args {
     data_quality: Option<DataQualityProfile>,
     classify: bool,
     classifier_json: Option<String>,
+    reliability: bool,
+    growth: Option<Vec<f64>>,
+    reliability_json: Option<String>,
 }
 
 const USAGE: &str = "usage: repro_figures [--scenario NAME|FILE] [--cross-system all|LIST]
@@ -89,6 +103,8 @@ const USAGE: &str = "usage: repro_figures [--scenario NAME|FILE] [--cross-system
                      [--policy off|powercap:WATTS|coshare|coshare-predicted|tiered]
                      [--data-quality off|supercloud|lossy|hostile]
                      [--classify] [--classifier-json FILE]
+                     [--reliability] [--growth FACTORS]
+                     [--reliability-json FILE]
 
   --scenario S         drive the pipeline from a scenario preset or TOML
                        file (presets: supercloud|philly|nersc|in2p3).
@@ -132,7 +148,22 @@ const USAGE: &str = "usage: repro_figures [--scenario NAME|FILE] [--cross-system
   --classifier-json F  write classifier gate metrics (accuracy, split
                        sizes, predicted-vs-oracle goodput delta when
                        --policy coshare-predicted ran) as JSON to F;
-                       implies --classify";
+                       implies --classify
+  --reliability        run the reliability-at-scale study: per-size-class
+                       ETTF/ETTR table, goodput frontier across MTBF
+                       settings, and the Young/Daly checkpoint-interval
+                       sweep (simulated vs analytic); uses the effective
+                       failure model, or the default supercloud taxonomy
+                       at 0.05x MTBF when no failure flags are given; a
+                       scenario's [reliability] section enables this too
+  --growth FACTORS     comma-separated fleet scale factors (e.g. 2,8,32)
+                       for the cluster-growth replay: same workload on a
+                       scaled cluster, reporting queue wait, goodput, and
+                       event-loop throughput per scale; implies
+                       --reliability
+  --reliability-json F write reliability gate metrics (sweep worst ratio,
+                       frontier monotonicity, growth throughput floor) as
+                       JSON to F; implies --reliability";
 
 /// Prints an error plus the usage text and exits with status 2, the
 /// conventional bad-usage code.
@@ -159,6 +190,9 @@ fn parse_args() -> Args {
         data_quality: None,
         classify: false,
         classifier_json: None,
+        reliability: false,
+        growth: None,
+        reliability_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -244,6 +278,27 @@ fn parse_args() -> Args {
             }
             "--classify" => args.classify = true,
             "--classifier-json" => args.classifier_json = Some(value("--classifier-json")),
+            "--reliability" => args.reliability = true,
+            "--growth" => {
+                let list = value("--growth");
+                let factors: Vec<f64> = list
+                    .split(',')
+                    .map(|s| {
+                        let f: f64 = s.trim().parse().unwrap_or_else(|_| {
+                            usage_error("--growth needs a comma-separated list of numbers")
+                        });
+                        if !(f.is_finite() && f > 0.0) {
+                            usage_error("--growth factors must be positive and finite");
+                        }
+                        f
+                    })
+                    .collect();
+                if factors.is_empty() {
+                    usage_error("--growth needs at least one factor");
+                }
+                args.growth = Some(factors);
+            }
+            "--reliability-json" => args.reliability_json = Some(value("--reliability-json")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -373,6 +428,137 @@ fn classifier_json(fig: &ClassifierFig, policy: Option<&ExperimentResult>) -> St
         None => out.push_str("  \"goodput_delta_pp\": null\n"),
     }
     out.push_str("}\n");
+    out
+}
+
+/// Renders the reliability gate metrics by hand, like [`bench_json`]:
+/// the three scalars `scripts/check_bench.py --reliability` gates, plus
+/// the per-class sweep verdicts and growth timings behind them.
+/// Non-finite values (a class the model cannot fail, an empty growth
+/// list) render as `null`, which the gate script treats as "not
+/// measured" for detail rows and a hard failure for gated scalars.
+fn reliability_json(report: &sc_core::ReliabilityReport) -> String {
+    let fin = |v: f64, prec: usize| {
+        if v.is_finite() {
+            format!("{v:.prec$}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut out = String::from("{\n");
+    match report.sweep.worst_ratio() {
+        Some(r) => out.push_str(&format!("  \"sweep_worst_ratio\": {},\n", fin(r, 6))),
+        None => out.push_str("  \"sweep_worst_ratio\": null,\n"),
+    }
+    out.push_str(&format!(
+        "  \"frontier_monotone_violation\": {},\n",
+        fin(report.frontier.monotone_violation(), 6)
+    ));
+    let min_jps =
+        report.growth_timings.iter().map(|t| t.jobs_per_sec()).fold(f64::INFINITY, f64::min);
+    out.push_str(&format!("  \"growth_min_jobs_per_sec\": {},\n", fin(min_jps, 1)));
+    out.push_str("  \"sweep_classes\": [\n");
+    for (i, c) in report.sweep.classes.iter().enumerate() {
+        let comma = if i + 1 < report.sweep.classes.len() { "," } else { "" };
+        let sim = c.simulated_secs.map_or("null".to_string(), |t| fin(t, 1));
+        let ratio = c.ratio().map_or("null".to_string(), |r| fin(r, 6));
+        out.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"gpus\": {}, \"analytic_secs\": {}, \
+             \"simulated_secs\": {sim}, \"ratio\": {ratio} }}{comma}\n",
+            c.label,
+            c.gpus,
+            fin(c.analytic_secs, 1)
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"growth\": [\n");
+    for (i, t) in report.growth_timings.iter().enumerate() {
+        let comma = if i + 1 < report.growth_timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"factor\": {}, \"jobs\": {}, \"event_loop_secs\": {:.6}, \
+             \"jobs_per_sec\": {:.1} }}{comma}\n",
+            t.factor,
+            t.jobs,
+            t.event_loop_secs,
+            t.jobs_per_sec()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The reliability figure family as SVGs: the goodput frontier and the
+/// checkpoint sweep as log-x line charts, the growth study as a bar
+/// chart of median queue wait per scale. Series a degenerate run left
+/// empty (a class with no exposure) are dropped; a chart with no data
+/// at all is skipped rather than rendered blank.
+fn reliability_svgs(report: &sc_core::ReliabilityReport) -> Vec<(&'static str, String)> {
+    use sc_core::svg::{bar_chart, line_chart, Scale, Series};
+    let mut out = Vec::new();
+
+    let frontier: Vec<Series> = report
+        .frontier
+        .rows
+        .iter()
+        .map(|r| {
+            let pts: Vec<(f64, f64)> = report
+                .frontier
+                .class_gpus
+                .iter()
+                .zip(&r.goodput_by_class)
+                .filter_map(|(&g, gp)| gp.map(|v| (g as f64, v)))
+                .collect();
+            Series::new(format!("mtbf x{}", r.mtbf_factor), pts)
+        })
+        .filter(|s| !s.points.is_empty())
+        .collect();
+    if !frontier.is_empty() {
+        out.push((
+            "goodput_frontier.svg",
+            line_chart(
+                "Goodput frontier",
+                "job size (GPUs)",
+                "goodput fraction",
+                Scale::Log10,
+                &frontier,
+            ),
+        ));
+    }
+
+    let mut sweep = vec![Series::new(
+        "overall",
+        report.sweep.rows.iter().map(|r| (r.interval_secs, r.overall_goodput)).collect(),
+    )];
+    for (c, verdict) in report.sweep.classes.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = report
+            .sweep
+            .rows
+            .iter()
+            .filter_map(|r| r.goodput_by_class[c].map(|v| (r.interval_secs, v)))
+            .collect();
+        if !pts.is_empty() {
+            sweep.push(Series::new(verdict.label.clone(), pts));
+        }
+    }
+    out.push((
+        "checkpoint_sweep.svg",
+        line_chart(
+            "Checkpoint-interval sweep (Young/Daly)",
+            "checkpoint interval (s)",
+            "goodput fraction",
+            Scale::Log10,
+            &sweep,
+        ),
+    ));
+
+    if let Some(growth) = &report.growth {
+        let bars: Vec<(String, f64)> =
+            growth.rows.iter().map(|r| (format!("x{}", r.factor), r.median_wait_secs)).collect();
+        out.push((
+            "reliability_growth.svg",
+            bar_chart("Cluster growth: median queue wait", "seconds", &bars),
+        ));
+    }
     out
 }
 
@@ -634,6 +820,52 @@ Reproduce with:\n\n\
 repro_figures --classify --svg-dir figs          # confusion matrix + SVG\n\
 repro_figures --policy coshare-predicted         # three-arm A/B\n\
 repro_figures --classify --classifier-json c.json # CI gate metrics\n\
+```\n";
+
+/// The reliability-at-scale section of the generated report: the
+/// job-footprint hazard model, the figure family, and the Young/Daly
+/// sweep methodology.
+const RELIABILITY: &str = "\n## Reliability at scale\n\n\
+Fleet studies of large training clusters (e.g. Meta's, arXiv \
+2410.21680) report that failure burden grows with job footprint: a \
+job spanning G GPUs samples G hazards in parallel, so its time to \
+failure shrinks roughly as MTBF/G. The simulator models exactly that \
+— every scheduled fault targets a GPU or node, so a job's per-attempt \
+interrupt probability scales with the GPUs and nodes it holds — and \
+`--reliability` measures the consequences end to end:\n\n\
+- **Reliability vs job size.** Jobs are bucketed by allocated GPUs \
+(canonical classes: <=1, 2, 3-8, >8; a scenario's `[reliability] \
+size_buckets` re-draws the edges). Per class the table reports ETTF \
+(exposed wall-clock per failure), ETTR (kill-to-restart gap), \
+failures per 1,000 GPU-days, restart-overhead GPU-hours, and goodput \
+— each derived from the same per-class ledger that is \
+property-tested to balance (`useful + lost + idle == allocated`, \
+`tests/reliability_invariants.rs`).\n\
+- **Goodput frontier.** One event-loop run per MTBF scale factor \
+(default 1x, 0.2x, 0.05x) plots goodput fraction against job size: \
+how quickly large jobs fall off as the fleet degrades, and where \
+checkpointing stops compensating.\n\
+- **Young/Daly checkpoint sweep.** For each size class the analytic \
+optimum is `sqrt(2 * write_cost * MTTI(footprint))`. The sweep runs \
+the event loop over a geometric interval grid spanning every class's \
+optimum (default 5 points, 4x half-span) and overlays the simulated \
+per-class argmax on the analytic prediction; CI gates the worst \
+simulated/analytic ratio to a coarse-grid band \
+(`scripts/check_bench.py --reliability`).\n\
+- **Cluster growth.** `--growth 2,8,32` replays the identical \
+workload on a fleet scaled by each factor and reports queue-wait \
+quantiles, goodput, makespan, and event-loop throughput per scale — \
+the study runs with the detailed-series subset disabled, so memory \
+stays O(aggregate state) even at 32x.\n\n\
+All four figures are pure functions of (trace, config): byte-identical \
+at any `SC_PAR_THREADS` budget, pinned by a committed golden report \
+and the determinism suite. Wall-clock timings go only to \
+`--reliability-json`. Reproduce with:\n\n\
+```text\n\
+repro_figures --reliability                        # default taxonomy at 0.05x MTBF\n\
+repro_figures --reliability --failure-profile stress\n\
+repro_figures --reliability --growth 2,8,32        # + cluster-growth replay\n\
+repro_figures --reliability --reliability-json r.json  # CI gate metrics\n\
 ```\n";
 
 /// The cross-system section of the generated report: the scenario DSL
@@ -999,6 +1231,57 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
 
+    // Reliability-at-scale study: per-size-class failure table, goodput
+    // frontier, Young/Daly checkpoint sweep, and (with --growth) the
+    // cluster-growth replay. Off by default, so the stock reproduction
+    // stays byte-identical; a scenario's `[reliability] enabled = true`
+    // turns it on too. With no failure flags the study injects the
+    // default supercloud taxonomy at 0.05x MTBF so every figure has
+    // failures to measure.
+    let run_reliability = args.reliability
+        || args.growth.is_some()
+        || args.reliability_json.is_some()
+        || args.scenario.as_ref().is_some_and(|sc| sc.reliability.enabled);
+    let reliability_report = run_reliability.then(|| {
+        let model = sim_config
+            .failures
+            .clone()
+            .unwrap_or_else(|| FailureModel::supercloud(seed).scaled_mtbf(0.05));
+        let mut rel_cfg = args
+            .scenario
+            .as_ref()
+            .map_or_else(sc_core::ReliabilityConfig::default, |sc| sc.reliability_config());
+        if let Some(growth) = &args.growth {
+            rel_cfg.growth_factors = growth.clone();
+        }
+        eprintln!(
+            "running reliability study ({} MTBF factors, {}-point sweep, {} growth factors) ...",
+            rel_cfg.mtbf_factors.len(),
+            rel_cfg.sweep_points,
+            rel_cfg.growth_factors.len()
+        );
+        let t0 = std::time::Instant::now();
+        let base = SimConfig { detailed_series_jobs: 0, ..sim_config.clone() };
+        let report = sc_core::run_reliability_study(&trace, &base, &model, &rel_cfg);
+        eprintln!("reliability study done in {:?}", t0.elapsed());
+        println!("{}", report.render());
+        report
+    });
+    if let Some(path) = &args.reliability_json {
+        let report = reliability_report.as_ref().expect("--reliability-json implies --reliability");
+        std::fs::write(path, reliability_json(report))
+            .unwrap_or_else(|e| fail(&format!("cannot write reliability json {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let (Some(report), Some(dir)) = (&reliability_report, &args.svg_dir) {
+        for (name, svg) in reliability_svgs(report) {
+            let path = std::path::Path::new(dir).join(name);
+            std::fs::write(&path, svg)
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
     if let Some(path) = args.out {
         let mut md = report.experiments_markdown();
         md.push_str(KNOWN_GAPS);
@@ -1084,6 +1367,18 @@ fn main() {
             md.push_str("\n```text\n");
             md.push_str(&fig.render());
             md.push_str("```\n");
+        }
+        md.push_str(RELIABILITY);
+        if let Some(report) = &reliability_report {
+            md.push_str("\n```text\n");
+            md.push_str(&report.render());
+            md.push_str("```\n");
+        } else {
+            md.push_str(
+                "\nThis run did not request the study; produce it with \
+                 `--reliability` (add `--growth 2,8,32` for the cluster-growth \
+                 replay; the weekly CI job archives the full-scale version).\n",
+            );
         }
         md.push_str(CROSS_SYSTEM);
         if let Some(fig) = &cross_system {

@@ -53,6 +53,11 @@ const MALFORMED: &[&str] = &[
     "[scenario]\nname = \"x\"\n[classifier]\ntrain_fraction = 1.0\n",
     "[scenario]\nname = \"x\"\n[classifier]\nenabled = \"yes\"\n",
     "[scenario]\nname = \"x\"\n[classifier]\nforest_size = 5\n",
+    "[scenario]\nname = \"x\"\n[reliability]\nenabled = true\n",
+    "[scenario]\nname = \"x\"\n[reliability]\nsweep_points = 1\n",
+    "[scenario]\nname = \"x\"\n[reliability]\nsize_buckets = [8, 2]\n",
+    "[scenario]\nname = \"x\"\n[reliability]\nmtbf_factors = [0.0]\n",
+    "[scenario]\nname = \"x\"\n[reliability]\ngrowth_factor = 2.0\n",
 ];
 
 fn check(label: &str, ok: bool, detail: &str, failures: &mut u32) {

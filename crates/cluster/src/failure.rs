@@ -21,6 +21,35 @@ use rand::{Rng, SeedableRng};
 use sc_stats::dist::{Exponential, Sample, Weibull};
 pub use sc_telemetry::record::FailureCause;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed rejection of an invalid failure-model parameter.
+///
+/// The scenario layer converts these into `ScenarioError` range
+/// diagnostics (`line N: [failures] key: ...`), so a malformed config
+/// key reports like every other field instead of panicking deep inside
+/// the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureConfigError {
+    /// Which parameter was rejected (e.g. `"mtbf_factor"`).
+    pub param: &'static str,
+    /// Why it was rejected, in user-facing terms.
+    pub reason: String,
+}
+
+impl FailureConfigError {
+    fn new(param: &'static str, reason: impl Into<String>) -> Self {
+        FailureConfigError { param, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for FailureConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.param, self.reason)
+    }
+}
+
+impl std::error::Error for FailureConfigError {}
 
 /// Interarrival law for one failure class, parameterized by the mean
 /// time between failures of a single unit (node or GPU).
@@ -66,6 +95,39 @@ impl Interarrival {
             Interarrival::Exponential { mtbf_secs } => mtbf_secs,
             Interarrival::Weibull { mtbf_secs, .. } => mtbf_secs,
         }
+    }
+
+    /// Validates the law's parameters, returning the typed error the
+    /// scenario layer surfaces as a range diagnostic. [`sample_gap`]
+    /// still panics on bad inputs — `validate` exists so config paths
+    /// reject them long before any sampling happens.
+    ///
+    /// [`sample_gap`]: Interarrival::sample_gap
+    pub fn validate(&self) -> Result<(), FailureConfigError> {
+        let mtbf = self.mtbf_secs();
+        if !(mtbf.is_finite() && mtbf > 0.0) {
+            return Err(FailureConfigError::new(
+                "mtbf_secs",
+                format!("must be positive and finite, got {mtbf}"),
+            ));
+        }
+        if let Interarrival::Weibull { shape, .. } = *self {
+            if !(shape.is_finite() && shape > 0.0) {
+                return Err(FailureConfigError::new(
+                    "shape",
+                    format!("Weibull shape must be positive and finite, got {shape}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Constant-hazard approximation for one unit: `1 / mtbf_secs`.
+    /// Exact for the exponential law; for Weibull it treats the
+    /// characteristic life as the mean, which is what the Young/Daly
+    /// analytic overlay needs (a single effective rate).
+    pub fn hazard_per_unit_sec(&self) -> f64 {
+        1.0 / self.mtbf_secs()
     }
 }
 
@@ -176,9 +238,24 @@ impl FailureModel {
     ///
     /// # Panics
     ///
-    /// Panics unless `factor` is finite and positive.
+    /// Panics unless `factor` is finite and positive. Config paths that
+    /// must not panic (the scenario parser) use
+    /// [`FailureModel::try_scaled_mtbf`] instead.
     pub fn scaled_mtbf(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "MTBF scale must be positive");
+        self.try_scaled_mtbf(factor).expect("MTBF scale must be positive")
+    }
+
+    /// Fallible form of [`FailureModel::scaled_mtbf`]: rejects a
+    /// non-finite or non-positive factor with a typed error instead of
+    /// panicking, so malformed `[failures] mtbf_factor` keys surface as
+    /// range diagnostics.
+    pub fn try_scaled_mtbf(&self, factor: f64) -> Result<Self, FailureConfigError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(FailureConfigError::new(
+                "mtbf_factor",
+                format!("MTBF scale must be positive and finite, got {factor}"),
+            ));
+        }
         let mut out = self.clone();
         for c in &mut out.classes {
             c.interarrival = match c.interarrival {
@@ -190,7 +267,65 @@ impl FailureModel {
                 }
             };
         }
-        out
+        Ok(out)
+    }
+
+    /// Validates every class's interarrival law, repair time, and the
+    /// retry policy. Returns the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), FailureConfigError> {
+        for c in &self.classes {
+            c.interarrival.validate()?;
+            if !(c.repair_secs.is_finite() && c.repair_secs >= 0.0) {
+                return Err(FailureConfigError::new(
+                    "repair_secs",
+                    format!("must be non-negative and finite, got {}", c.repair_secs),
+                ));
+            }
+        }
+        if !(self.retry.backoff_base_secs.is_finite() && self.retry.backoff_base_secs >= 0.0) {
+            return Err(FailureConfigError::new(
+                "backoff_base_secs",
+                format!("must be non-negative and finite, got {}", self.retry.backoff_base_secs),
+            ));
+        }
+        if !(self.retry.backoff_factor.is_finite() && self.retry.backoff_factor >= 1.0) {
+            return Err(FailureConfigError::new(
+                "backoff_factor",
+                format!("must be >= 1 and finite, got {}", self.retry.backoff_factor),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Aggregate failure hazard (events/sec) seen by a job occupying
+    /// `nodes` nodes and `gpus` GPUs — the Meta rate-vs-size law made
+    /// explicit: each class contributes `units / MTBF`, where units is
+    /// the job's GPU count for [`FailureCause::GpuXid`] and its node
+    /// count otherwise. A job spanning N nodes is exposed to N nodes'
+    /// worth of hardware hazard.
+    pub fn job_hazard_per_sec(&self, nodes: u32, gpus: u32) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| {
+                let units = match c.cause {
+                    FailureCause::GpuXid => gpus as f64,
+                    _ => nodes as f64,
+                };
+                units * c.interarrival.hazard_per_unit_sec()
+            })
+            .sum()
+    }
+
+    /// Mean time to interrupt for a job with the given footprint:
+    /// `1 / job_hazard_per_sec`. Infinite for an empty footprint or an
+    /// empty taxonomy — callers treat that as "no checkpointing needed".
+    pub fn job_mtti_secs(&self, nodes: u32, gpus: u32) -> f64 {
+        let h = self.job_hazard_per_sec(nodes, gpus);
+        if h <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / h
+        }
     }
 
     /// Looks up a named failure profile: `off` (no injection),
@@ -215,8 +350,14 @@ impl FailureModel {
     /// Names accepted by [`FailureModel::profile`], for usage messages.
     pub const PROFILE_NAMES: &'static str = "off|supercloud|stress|transient";
 
-    /// Expands the model into the fleet-wide failure schedule over
-    /// `[0, horizon)`, sorted by time with deterministic tie-breaking.
+    /// Expands the model into the fleet-wide failure schedule over the
+    /// half-open interval `[0, horizon)`, sorted by time with
+    /// deterministic tie-breaking.
+    ///
+    /// The horizon bound is strict: an event drawn exactly at the
+    /// boundary is excluded, so for `h1 < h2` the `h1` schedule is a
+    /// prefix of the `h2` schedule (per class) and growth-study runs at
+    /// different horizons can never double-count a boundary fault.
     ///
     /// Each class samples from its own `StdRng` stream (derived from
     /// the model seed and the class index), so adding or removing a
@@ -337,6 +478,72 @@ mod tests {
         assert_eq!(r.backoff_secs(1), 60.0);
         assert_eq!(r.backoff_secs(2), 120.0);
         assert_eq!(r.backoff_secs(3), 240.0);
+    }
+
+    #[test]
+    fn horizon_is_half_open_and_schedules_nest_by_prefix() {
+        // Satellite fix: `[0, horizon)` is strict, so a shorter-horizon
+        // schedule must be an exact prefix of a longer one per class and
+        // no event may land at or past the bound.
+        let m = FailureModel::supercloud(11);
+        let long = m.schedule(224, 448, 8.0e6);
+        for h in [0.0, 1.0e5, 2.5e6, 8.0e6] {
+            let short = m.schedule(224, 448, h);
+            for f in &short {
+                assert!(f.time < h, "event at {} must be excluded at horizon {h}", f.time);
+            }
+            let expected: Vec<_> = long.iter().copied().filter(|f| f.time < h).collect();
+            assert_eq!(short, expected, "horizon {h} schedule must be a prefix of the long one");
+        }
+        assert!(m.schedule(224, 448, 0.0).is_empty(), "zero horizon schedules nothing");
+        // An event drawn exactly at the boundary is excluded: replay the
+        // first NodeHardware arrival and use its time as the horizon.
+        let first = long.iter().find(|f| f.cause == FailureCause::NodeHardware).unwrap();
+        let at_boundary = m.schedule(224, 448, first.time);
+        assert!(
+            !at_boundary.iter().any(|f| f.cause == FailureCause::NodeHardware),
+            "event exactly at the horizon must not be scheduled"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters_with_typed_errors() {
+        assert!(Interarrival::Exponential { mtbf_secs: 1.0 }.validate().is_ok());
+        let err = Interarrival::Exponential { mtbf_secs: 0.0 }.validate().unwrap_err();
+        assert_eq!(err.param, "mtbf_secs");
+        let err = Interarrival::Exponential { mtbf_secs: f64::NAN }.validate().unwrap_err();
+        assert!(err.to_string().contains("positive"));
+        let err = Interarrival::Weibull { mtbf_secs: 1.0, shape: -2.0 }.validate().unwrap_err();
+        assert_eq!(err.param, "shape");
+
+        let m = FailureModel::supercloud(1);
+        assert!(m.validate().is_ok());
+        assert!(m.try_scaled_mtbf(0.5).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = m.try_scaled_mtbf(bad).unwrap_err();
+            assert_eq!(err.param, "mtbf_factor");
+            assert!(err.to_string().contains("positive"), "message: {err}");
+        }
+        let mut broken = m.clone();
+        broken.retry.backoff_factor = 0.5;
+        assert_eq!(broken.validate().unwrap_err().param, "backoff_factor");
+        broken = m.clone();
+        broken.classes[0].repair_secs = f64::NAN;
+        assert_eq!(broken.validate().unwrap_err().param, "repair_secs");
+    }
+
+    #[test]
+    fn job_hazard_scales_with_footprint() {
+        let m = FailureModel::supercloud(1);
+        let one = m.job_hazard_per_sec(1, 2);
+        let eight = m.job_hazard_per_sec(8, 16);
+        assert!(one > 0.0);
+        assert!((eight / one - 8.0).abs() < 1e-9, "8x footprint => 8x hazard");
+        assert!((m.job_mtti_secs(1, 2) - 1.0 / one).abs() < 1e-6);
+        assert_eq!(m.job_mtti_secs(0, 0), f64::INFINITY);
+        // Hand check: 1 node / 2 GPU exposure under the supercloud taxonomy.
+        let expected = 1.0 / 8.0e6 + 2.0 / 1.5e7 + 1.0 / 5.0e6;
+        assert!((one - expected).abs() < 1e-12);
     }
 
     #[test]

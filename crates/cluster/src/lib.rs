@@ -13,6 +13,8 @@
 //!   dispatch-time stretch and power caps) driven by the event loop.
 //! - [`failure`]: the injected-failure taxonomy (GPU Xid faults, node
 //!   hardware, transient infra) and its deterministic schedule.
+//! - [`reliability`]: per-job-size reliability accounting — ETTF/ETTR,
+//!   failures per 1k GPU-days, restart overhead by size class.
 //! - [`sim`]: the driver that replays a [`sc_workload::Trace`] and
 //!   produces the joined analysis [`sc_telemetry::Dataset`], with
 //!   retry/requeue recovery, checkpoint resume, and a goodput ledger.
@@ -34,15 +36,21 @@
 pub mod event;
 pub mod failure;
 pub mod policy;
+pub mod reliability;
 pub mod resources;
 pub mod scheduler;
 pub mod sim;
 pub mod spec;
 
 pub use failure::{
-    ClassModel, FailureCause, FailureModel, Interarrival, RetryPolicy, ScheduledFailure,
+    ClassModel, FailureCause, FailureConfigError, FailureModel, Interarrival, RetryPolicy,
+    ScheduledFailure,
 };
 pub use policy::{Dispatch, Policy, PolicyDecision};
+pub use reliability::{
+    size_bucket, size_bucket_label, ReliabilityStats, SizeClassStats, SIZE_BUCKET_COUNT,
+    SIZE_BUCKET_EDGES,
+};
 pub use resources::{Allocation, ClusterState, NodeAlloc, NodeId, NodeState};
 pub use scheduler::{QueuedJob, RunningJob, SchedulePass, SchedulePolicy, Scheduler};
 pub use sim::{

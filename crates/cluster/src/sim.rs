@@ -5,6 +5,7 @@
 use crate::event::{Event, EventQueue};
 use crate::failure::{FailureModel, ScheduledFailure};
 use crate::policy::{Dispatch, Policy, PolicyDecision};
+use crate::reliability::{size_bucket, ReliabilityStats, SIZE_BUCKET_COUNT, SIZE_BUCKET_EDGES};
 use crate::resources::ClusterState;
 use crate::scheduler::{RunningJob, Scheduler};
 use crate::spec::ClusterSpec;
@@ -48,6 +49,11 @@ pub struct SimConfig {
     /// completed interval instead of restarting from scratch; the saved
     /// work counts as useful in the goodput ledger.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Job-size class edges (GPU-count upper bounds) for the
+    /// [`ReliabilityStats`] accumulator; defaults to the canonical
+    /// [`SIZE_BUCKET_EDGES`]. The fixed-width per-size arrays in
+    /// [`GoodputAccounting`] always use the canonical edges regardless.
+    pub size_bucket_edges: Vec<u32>,
 }
 
 /// Periodic checkpointing as the event loop models it: a fixed
@@ -72,6 +78,7 @@ impl Default for SimConfig {
             policy: crate::scheduler::SchedulePolicy::EasyBackfill,
             failures: None,
             checkpoint: None,
+            size_bucket_edges: SIZE_BUCKET_EDGES.to_vec(),
         }
     }
 }
@@ -149,6 +156,16 @@ pub struct GoodputAccounting {
     pub lost_by_cause_gpu_secs: [f64; 3],
     /// Job-attempt deaths per cause, indexed by [`FailureCause::index`].
     pub deaths_by_cause: [u64; 3],
+    /// Allocated GPU-seconds per canonical job-size bucket, indexed by
+    /// [`size_bucket`].
+    pub allocated_by_size_gpu_secs: [f64; SIZE_BUCKET_COUNT],
+    /// Useful GPU-seconds per canonical job-size bucket.
+    pub useful_by_size_gpu_secs: [f64; SIZE_BUCKET_COUNT],
+    /// Lost GPU-seconds per canonical job-size bucket — restart
+    /// overhead attributed by job size, the Meta rate-vs-size view.
+    pub lost_by_size_gpu_secs: [f64; SIZE_BUCKET_COUNT],
+    /// Idle GPU-seconds per canonical job-size bucket.
+    pub idle_by_size_gpu_secs: [f64; SIZE_BUCKET_COUNT],
 }
 
 impl GoodputAccounting {
@@ -173,6 +190,16 @@ impl GoodputAccounting {
     /// Total injected deaths across causes.
     pub fn total_deaths(&self) -> u64 {
         self.deaths_by_cause.iter().sum()
+    }
+
+    /// Absolute imbalance of the per-size ledger identity for canonical
+    /// bucket `i`: `|allocated − (useful + lost + idle)|`, GPU-seconds.
+    pub fn size_balance_error(&self, i: usize) -> f64 {
+        (self.allocated_by_size_gpu_secs[i]
+            - (self.useful_by_size_gpu_secs[i]
+                + self.lost_by_size_gpu_secs[i]
+                + self.idle_by_size_gpu_secs[i]))
+            .abs()
     }
 }
 
@@ -215,6 +242,11 @@ pub struct SimOutput {
     /// input order as epilogs stream out of the parallel batch —
     /// aggregate state only, byte-identical at any thread budget.
     pub telemetry_summary: TelemetryStreamSummary,
+    /// Per-job-size reliability accounting (ETTF/ETTR, failure rates,
+    /// restart overhead), accumulated entirely inside the
+    /// single-threaded event loop — deterministic across
+    /// `SC_PAR_THREADS` by construction.
+    pub reliability: ReliabilityStats,
 }
 
 /// Wall-clock timings of one simulation run, split by stage.
@@ -259,6 +291,10 @@ struct JobProgress {
     /// Waiting out a requeue backoff (counted in the timeline's
     /// requeue backlog until the resubmission arrives).
     in_backoff: bool,
+    /// When an injected failure killed the last attempt; consumed when
+    /// the next attempt starts to measure the kill-to-restart gap
+    /// (ETTR: backoff + queue wait + scheduling latency).
+    killed_at: Option<f64>,
 }
 
 /// Everything the epilog derives from one completion — a pure function
@@ -370,6 +406,7 @@ impl Simulation {
             std::collections::HashSet::new();
         let mut stats = SimStats::default();
         let mut goodput = GoodputAccounting::default();
+        let mut reliability = ReliabilityStats::new(&self.config.size_bucket_edges);
         // One timeline point per ~1/512 of the horizon: enough for the
         // figure, bounded memory at any scale. Collected even with
         // tracing off — the ClusterTimeline figure always needs it and
@@ -438,6 +475,7 @@ impl Simulation {
                     let spec = &jobs[running.trace_idx];
                     self.settle_attempt(
                         &mut goodput,
+                        &mut reliability,
                         spec,
                         now - running.start_time,
                         exit_cause(exit),
@@ -513,6 +551,7 @@ impl Simulation {
                             &mut progress,
                             &mut pending_end,
                             &mut goodput,
+                            &mut reliability,
                             &mut stats,
                             &mut queue,
                             &mut completions,
@@ -540,6 +579,7 @@ impl Simulation {
                                 &mut progress,
                                 &mut pending_end,
                                 &mut goodput,
+                                &mut reliability,
                                 &mut stats,
                                 &mut queue,
                                 &mut completions,
@@ -646,6 +686,10 @@ impl Simulation {
                 }
                 progress[idx].attempts += 1;
                 let attempt = progress[idx].attempts;
+                reliability.observe_attempt_start(job.gpus);
+                if let Some(killed_at) = progress[idx].killed_at.take() {
+                    reliability.observe_recovery(job.gpus, (now - killed_at).max(0.0));
+                }
                 if progress[idx].completed_work > 0.0 {
                     stats.checkpoint_restores += 1;
                     if obs.events_on() {
@@ -707,6 +751,9 @@ impl Simulation {
         assert_eq!(scheduler.running_len(), 0, "all jobs must terminate");
         assert_eq!(scheduler.pending_len(), 0, "no job may be left queued");
         assert_eq!(fates.len(), jobs.len(), "every job must have exactly one fate");
+        for j in jobs {
+            reliability.observe_job(j.gpus);
+        }
         timeline.sample_final(TimelineSample {
             t: stats.makespan_secs,
             queued: 0,
@@ -793,6 +840,7 @@ impl Simulation {
                 goodput,
                 timeline,
                 telemetry_summary,
+                reliability,
             },
             SimTimings { event_loop_secs, telemetry_secs },
         )
@@ -810,12 +858,15 @@ impl Simulation {
         }
     }
 
-    /// Posts one finished attempt to the goodput ledger. `failure` is
-    /// the cause if an infrastructure failure ended the attempt; `None`
-    /// means the work survived.
+    /// Posts one finished attempt to the goodput ledger and the
+    /// per-size reliability accumulator. `failure` is the cause if an
+    /// infrastructure failure ended the attempt; `None` means the work
+    /// survived. Both ledgers see identical split values, so the
+    /// per-size sums reconcile exactly with the global totals.
     fn settle_attempt(
         &self,
         goodput: &mut GoodputAccounting,
+        rel: &mut ReliabilityStats,
         job: &JobSpec,
         elapsed: f64,
         failure: Option<FailureCause>,
@@ -824,25 +875,41 @@ impl Simulation {
         let gpus = job.gpus as f64;
         let idle_g = job.idle_gpus.min(job.gpus) as f64;
         let active_g = gpus - idle_g;
+        let mut idle = idle_g * d;
         goodput.allocated_gpu_secs += gpus * d;
-        goodput.idle_gpu_secs += idle_g * d;
-        match failure {
-            None => goodput.useful_gpu_secs += active_g * d,
+        let (mut useful, lost) = match failure {
+            None => (active_g * d, 0.0),
             Some(cause) => {
                 let saved = self.checkpoint_saved_wall(job, d);
-                goodput.useful_gpu_secs += active_g * saved;
                 let lost = active_g * (d - saved);
-                goodput.lost_gpu_secs += lost;
                 goodput.lost_by_cause_gpu_secs[cause.index()] += lost;
                 goodput.deaths_by_cause[cause.index()] += 1;
-                if saved > 0.0 {
-                    if let Some(cp) = self.config.checkpoint {
-                        goodput.checkpoint_write_gpu_secs +=
-                            (saved / cp.interval_secs) * cp.write_secs * gpus;
-                    }
-                }
+                (active_g * saved, lost)
+            }
+        };
+        // Completed checkpoint writes stall the active GPUs for
+        // `write_secs` each — whether or not the attempt later failed —
+        // so they are debited from useful into idle time. This is the
+        // overhead side of the Young/Daly tradeoff: short intervals
+        // bound lost work but pay more write stalls.
+        if let Some(cp) = self.config.checkpoint {
+            if job.checkpointable && cp.interval_secs > 0.0 {
+                let writes = (d / cp.interval_secs).floor() * cp.write_secs * active_g;
+                let write = writes.min(useful);
+                goodput.checkpoint_write_gpu_secs += write;
+                useful -= write;
+                idle += write;
             }
         }
+        goodput.idle_gpu_secs += idle;
+        goodput.useful_gpu_secs += useful;
+        goodput.lost_gpu_secs += lost;
+        let b = size_bucket(job.gpus);
+        goodput.allocated_by_size_gpu_secs[b] += gpus * d;
+        goodput.useful_by_size_gpu_secs[b] += useful;
+        goodput.lost_by_size_gpu_secs[b] += lost;
+        goodput.idle_by_size_gpu_secs[b] += idle;
+        rel.settle_attempt(job.gpus, d, useful, lost, idle, failure.is_some());
     }
 
     /// Kills one running attempt at `now` because of an injected
@@ -863,6 +930,7 @@ impl Simulation {
         progress: &mut [JobProgress],
         pending_end: &mut HashMap<JobId, (f64, ExitStatus, u32)>,
         goodput: &mut GoodputAccounting,
+        rel: &mut ReliabilityStats,
         stats: &mut SimStats,
         queue: &mut EventQueue,
         completions: &mut Vec<Completion>,
@@ -873,7 +941,7 @@ impl Simulation {
         pending_end.remove(&job_id);
         let job = &jobs[running.trace_idx];
         let elapsed = (now - running.start_time).max(0.0);
-        self.settle_attempt(goodput, job, elapsed, Some(cause));
+        self.settle_attempt(goodput, rel, job, elapsed, Some(cause));
         let saved_wall = self.checkpoint_saved_wall(job, elapsed);
         let prog = &mut progress[running.trace_idx];
         // Saved wall-clock converts back to work units through the
@@ -913,6 +981,7 @@ impl Simulation {
             prog.retries += 1;
             stats.requeues += 1;
             prog.in_backoff = true;
+            prog.killed_at = Some(now);
             let backoff = retry.backoff_secs(prog.retries);
             if obs.events_on() {
                 obs.event(
@@ -1321,6 +1390,68 @@ mod tests {
         );
         assert!(ckpt.goodput.checkpoint_write_gpu_secs > 0.0);
         assert!(ckpt.goodput.balance_error() <= 1e-6 * ckpt.goodput.allocated_gpu_secs);
+    }
+
+    #[test]
+    fn reliability_stats_reconcile_with_the_goodput_ledger() {
+        let spec = WorkloadSpec::supercloud().scaled(0.01);
+        let trace = Trace::generate(&spec, 17);
+        let sim = Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            failures: Some(FailureModel::supercloud(9).scaled_mtbf(0.05)),
+            ..Default::default()
+        });
+        let out = sim.run(&trace);
+        let rel = &out.reliability;
+        assert_eq!(rel.buckets.len(), SIZE_BUCKET_COUNT);
+        // Every job counted once; attempts >= jobs (restarts only add).
+        assert_eq!(rel.total(|b| b.jobs as f64) as usize, trace.jobs().len());
+        let attempts: u64 = rel.buckets.iter().map(|b| b.attempts).sum();
+        let expected: u64 = out.fates.iter().map(|f| u64::from(f.attempts)).sum();
+        assert_eq!(attempts, expected);
+        // Failure counts agree with the goodput ledger's deaths.
+        assert_eq!(rel.total_failures(), out.goodput.total_deaths());
+        // Per-size sums reconcile with the global ledger (same floats,
+        // so tolerance only covers summation order).
+        let tol = 1e-6 * out.goodput.allocated_gpu_secs.max(1.0);
+        assert!((rel.total(|b| b.exposed_gpu_secs) - out.goodput.allocated_gpu_secs).abs() < tol);
+        assert!((rel.total(|b| b.useful_gpu_secs) - out.goodput.useful_gpu_secs).abs() < tol);
+        assert!((rel.total(|b| b.lost_gpu_secs) - out.goodput.lost_gpu_secs).abs() < tol);
+        assert!((rel.total(|b| b.idle_gpu_secs) - out.goodput.idle_gpu_secs).abs() < tol);
+        for i in 0..SIZE_BUCKET_COUNT {
+            assert!(out.goodput.size_balance_error(i) < tol, "bucket {i} ledger imbalance");
+            assert!(
+                (out.goodput.allocated_by_size_gpu_secs[i] - rel.buckets[i].exposed_gpu_secs).abs()
+                    < tol,
+                "bucket {i}: ledger and reliability disagree on exposure"
+            );
+        }
+        // Requeues produced recoveries with a sane ETTR: at least the
+        // base backoff plus scheduler latency.
+        let recoveries: u64 = rel.buckets.iter().map(|b| b.recoveries).sum();
+        assert!(recoveries > 0, "expected kill-to-restart recoveries");
+        assert!(recoveries <= out.stats.requeues);
+        for b in rel.buckets.iter().filter(|b| b.recoveries > 0) {
+            assert!(b.ettr_secs().unwrap() >= 60.0, "ETTR below base backoff");
+        }
+        // Rendering is pure text and deterministic across runs.
+        assert_eq!(out.reliability.render(), sim.run(&trace).reliability.render());
+    }
+
+    #[test]
+    fn custom_size_bucket_edges_flow_into_the_accumulator() {
+        let spec = WorkloadSpec::supercloud().scaled(0.005);
+        let trace = Trace::generate(&spec, 23);
+        let out = Simulation::new(SimConfig {
+            detailed_series_jobs: 0,
+            size_bucket_edges: vec![4],
+            ..Default::default()
+        })
+        .run(&trace);
+        assert_eq!(out.reliability.buckets.len(), 2);
+        assert_eq!(out.reliability.label(0), "0-4 GPU");
+        assert_eq!(out.reliability.label(1), ">4 GPU");
+        assert_eq!(out.reliability.total(|b| b.jobs as f64) as usize, trace.jobs().len());
     }
 
     #[test]

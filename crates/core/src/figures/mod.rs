@@ -24,6 +24,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod goodput;
 pub mod policy_ab;
+pub mod reliability;
 pub mod streaming;
 pub mod timeline;
 
@@ -46,5 +47,6 @@ pub use fig16::Fig16;
 pub use fig17::Fig17;
 pub use goodput::GoodputFig;
 pub use policy_ab::{PolicyAbFig, PolicyArm};
+pub use reliability::{CheckpointSweepFig, GoodputFrontierFig, GrowthStudyFig, ReliabilitySizeFig};
 pub use streaming::{StreamCheck, StreamingTelemetryFig};
 pub use timeline::ClusterTimelineFig;

@@ -44,6 +44,7 @@ pub mod ingest;
 pub mod paper;
 pub mod pipeline;
 pub mod query;
+pub mod reliability;
 pub mod report;
 pub mod svg;
 pub mod userstats;
@@ -52,7 +53,8 @@ pub mod workflow;
 
 pub use classify::{classify_exit, classify_record};
 pub use figures::{
-    ClassifierFig, ClusterTimelineFig, DataQualityFig, GoodputFig, StreamingTelemetryFig,
+    CheckpointSweepFig, ClassifierFig, ClusterTimelineFig, DataQualityFig, GoodputFig,
+    GoodputFrontierFig, GrowthStudyFig, ReliabilitySizeFig, StreamingTelemetryFig,
 };
 pub use ingest::{
     corrupt_and_ingest, ingest, DataQualityError, IngestOutput, IngestReport, Provenance,
@@ -60,6 +62,7 @@ pub use ingest::{
 };
 pub use pipeline::{AnalysisReport, DatasetReport, PipelineError};
 pub use query::{FigureId, PointStat, QueryKey};
+pub use reliability::{run_reliability_study, GrowthTiming, ReliabilityConfig, ReliabilityReport};
 pub use report::Comparison;
 pub use userstats::{user_stats, UserStats};
 pub use view::{gpu_views, GpuJobView};

@@ -34,12 +34,13 @@ pub use sc_workload as workload;
 pub mod prelude {
     pub use sc_cluster::{
         CheckpointPolicy, ClusterSpec, FailureCause, FailureModel, GoodputAccounting, JobFate,
-        RetryPolicy, SimConfig, SimOutput, Simulation,
+        ReliabilityStats, RetryPolicy, SimConfig, SimOutput, Simulation,
     };
     pub use sc_core::{
-        classify_record, corrupt_and_ingest, gpu_views, ingest, user_stats, AnalysisReport,
-        ClassifierFig, DataQualityError, DataQualityFig, DatasetReport, GoodputFig, IngestOutput,
-        IngestReport, PipelineError, Provenance, QuarantineAction,
+        classify_record, corrupt_and_ingest, gpu_views, ingest, run_reliability_study, user_stats,
+        AnalysisReport, ClassifierFig, DataQualityError, DataQualityFig, DatasetReport, GoodputFig,
+        IngestOutput, IngestReport, PipelineError, Provenance, QuarantineAction, ReliabilityConfig,
+        ReliabilityReport,
     };
     pub use sc_learn::{ArchetypePredictor, ClassifierConfig};
     pub use sc_obs::{JsonlSink, Obs, RingSink, StageLog, TraceLevel, TraceSink};

@@ -43,4 +43,6 @@ pub mod toml;
 
 pub use cross::{CrossSystemFig, SystemRow};
 pub use error::{ErrorKind, ScenarioError};
-pub use scenario::{ClusterScenario, FailureScenario, Scenario, WorkloadScenario};
+pub use scenario::{
+    ClusterScenario, FailureScenario, ReliabilityScenario, Scenario, WorkloadScenario,
+};

@@ -128,6 +128,30 @@ impl Default for FailureScenario {
     }
 }
 
+/// Reliability study: ETTF/ETTR size-class accounting, the goodput
+/// frontier, the Young/Daly checkpoint sweep, and the cluster-growth
+/// replay. Only explicit overrides serialize, so the resolved
+/// [`sc_core::ReliabilityConfig`] tracks the library defaults when no
+/// override is given.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliabilityScenario {
+    /// Run the reliability study as a pipeline stage (needs a
+    /// `[failures]` profile other than `off`).
+    pub enabled: bool,
+    /// Override: checkpoint-sweep grid points per size class.
+    pub sweep_points: Option<usize>,
+    /// Override: sweep span factor around the Young/Daly optimum.
+    pub sweep_span: Option<f64>,
+    /// Override: MTBF scale factors for the goodput frontier.
+    pub mtbf_factors: Option<Vec<f64>>,
+    /// Override: job-size bucket edges in GPUs, strictly increasing.
+    pub size_buckets: Option<Vec<u32>>,
+    /// Override: cluster-growth factors for the growth study.
+    pub growth_factors: Option<Vec<f64>>,
+    /// Override: checkpoint write cost in seconds.
+    pub write_secs: Option<f64>,
+}
+
 /// One validated scenario: everything a pipeline run needs, parsed
 /// from TOML with typed line/field diagnostics.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +179,8 @@ pub struct Scenario {
     pub policy: String,
     /// Workload-classification stage.
     pub classifier: ClassifierScenario,
+    /// Reliability-study stage.
+    pub reliability: ReliabilityScenario,
 }
 
 impl Default for Scenario {
@@ -173,6 +199,7 @@ impl Default for Scenario {
             data_quality: "off".to_string(),
             policy: "off".to_string(),
             classifier: ClassifierScenario::default(),
+            reliability: ReliabilityScenario::default(),
         }
     }
 }
@@ -298,6 +325,43 @@ impl<'a> Reader<'a> {
             },
         }
     }
+
+    fn u32_array_opt(&self, key: &str) -> Result<Option<(Vec<u32>, usize)>, ScenarioError> {
+        match self.entry(key) {
+            None => Ok(None),
+            Some(e) => match &e.value {
+                TomlValue::Array(items) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            TomlValue::Integer(v) => {
+                                let v = u32::try_from(*v).map_err(|_| {
+                                    ScenarioError::new(
+                                        e.line,
+                                        self.ctx(key),
+                                        ErrorKind::Range(format!("{v} is outside the u32 range")),
+                                    )
+                                })?;
+                                out.push(v);
+                            }
+                            other => {
+                                return Err(ScenarioError::new(
+                                    e.line,
+                                    self.ctx(key),
+                                    ErrorKind::Type {
+                                        expected: "array of integers",
+                                        found: format!("array containing {}", other.type_name()),
+                                    },
+                                ))
+                            }
+                        }
+                    }
+                    Ok(Some((out, e.line)))
+                }
+                _ => Err(self.type_err(e, "array of integers")),
+            },
+        }
+    }
 }
 
 /// Range-checks a value, citing its source line.
@@ -321,7 +385,7 @@ fn fmt_f64(v: f64) -> String {
 
 impl Scenario {
     /// Section names the schema knows.
-    const SECTIONS: [&'static str; 8] = [
+    const SECTIONS: [&'static str; 9] = [
         "scenario",
         "cluster",
         "workload",
@@ -330,6 +394,7 @@ impl Scenario {
         "data_quality",
         "policy",
         "classifier",
+        "reliability",
     ];
 
     /// Parses and validates a scenario document.
@@ -385,6 +450,7 @@ impl Scenario {
             })?;
         let policy = Self::parse_policy(&doc)?;
         let classifier = Self::parse_classifier(&doc)?;
+        let reliability = Self::parse_reliability(&doc, &failures)?;
 
         Ok(Scenario {
             name,
@@ -398,6 +464,7 @@ impl Scenario {
             data_quality,
             policy,
             classifier,
+            reliability,
         })
     }
 
@@ -731,6 +798,111 @@ impl Scenario {
         Ok(c)
     }
 
+    fn parse_reliability(
+        doc: &crate::toml::TomlDoc,
+        failures: &FailureScenario,
+    ) -> Result<ReliabilityScenario, ScenarioError> {
+        let Some(sec) = doc.section("reliability") else {
+            return Ok(ReliabilityScenario::default());
+        };
+        let r = Reader { sec };
+        r.check_keys(&[
+            "enabled",
+            "sweep_points",
+            "sweep_span",
+            "mtbf_factors",
+            "size_buckets",
+            "growth_factors",
+            "write_secs",
+        ])?;
+        let mut rel = ReliabilityScenario::default();
+        if let Some((v, line)) = r.bool_opt("enabled")? {
+            check(line, "[reliability] enabled", !v || failures.profile != "off", || {
+                "the study needs a [failures] profile other than off".to_string()
+            })?;
+            rel.enabled = v;
+        }
+        if let Some((v, line)) = r.u64_opt("sweep_points")? {
+            check(line, "[reliability] sweep_points", v >= 2, || {
+                "the sweep grid needs at least two points".to_string()
+            })?;
+            rel.sweep_points = Some(v as usize);
+        }
+        if let Some((v, line)) = r.f64_opt("sweep_span")? {
+            check(line, "[reliability] sweep_span", v > 1.0 && v.is_finite(), || {
+                format!("{v} must be a finite factor above 1 so the grid brackets the optimum")
+            })?;
+            rel.sweep_span = Some(v);
+        }
+        if let Some((v, line)) = r.f64_array_opt("mtbf_factors")? {
+            check(line, "[reliability] mtbf_factors", !v.is_empty(), || {
+                "need at least one MTBF factor".to_string()
+            })?;
+            check(
+                line,
+                "[reliability] mtbf_factors",
+                v.iter().all(|f| *f > 0.0 && f.is_finite()),
+                || "every factor must be positive and finite".to_string(),
+            )?;
+            rel.mtbf_factors = Some(v);
+        }
+        if let Some((v, line)) = r.u32_array_opt("size_buckets")? {
+            check(line, "[reliability] size_buckets", !v.is_empty(), || {
+                "need at least one bucket edge".to_string()
+            })?;
+            check(line, "[reliability] size_buckets", v.iter().all(|&e| e >= 1), || {
+                "every edge must be at least 1 GPU".to_string()
+            })?;
+            check(line, "[reliability] size_buckets", v.windows(2).all(|w| w[0] < w[1]), || {
+                "edges must be strictly increasing".to_string()
+            })?;
+            rel.size_buckets = Some(v);
+        }
+        if let Some((v, line)) = r.f64_array_opt("growth_factors")? {
+            check(line, "[reliability] growth_factors", !v.is_empty(), || {
+                "need at least one growth factor".to_string()
+            })?;
+            check(
+                line,
+                "[reliability] growth_factors",
+                v.iter().all(|f| *f > 0.0 && f.is_finite()),
+                || "every factor must be positive and finite".to_string(),
+            )?;
+            rel.growth_factors = Some(v);
+        }
+        if let Some((v, line)) = r.f64_opt("write_secs")? {
+            check(line, "[reliability] write_secs", v > 0.0 && v.is_finite(), || {
+                format!("{v} must be a positive finite checkpoint write cost")
+            })?;
+            rel.write_secs = Some(v);
+        }
+        Ok(rel)
+    }
+
+    /// The resolved reliability-study configuration: the `sc-core`
+    /// defaults with this scenario's overrides applied (size buckets
+    /// flow through [`Scenario::sim_config`] instead, since the
+    /// accumulator lives in the simulator).
+    pub fn reliability_config(&self) -> sc_core::ReliabilityConfig {
+        let mut cfg = sc_core::ReliabilityConfig::default();
+        if let Some(v) = self.reliability.sweep_points {
+            cfg.sweep_points = v;
+        }
+        if let Some(v) = self.reliability.sweep_span {
+            cfg.sweep_span = v;
+        }
+        if let Some(v) = &self.reliability.mtbf_factors {
+            cfg.mtbf_factors = v.clone();
+        }
+        if let Some(v) = &self.reliability.growth_factors {
+            cfg.growth_factors = v.clone();
+        }
+        if let Some(v) = self.reliability.write_secs {
+            cfg.write_secs = v;
+        }
+        cfg
+    }
+
     /// The resolved classifier configuration: the `sc-learn` defaults
     /// with this scenario's overrides applied. Identical to
     /// [`sc_learn::ClassifierConfig::default`] when the `[classifier]`
@@ -822,7 +994,9 @@ impl Scenario {
         let model = FailureModel::profile(&self.failures.profile, seed)
             .expect("profile validated at parse time")?;
         Some(match self.failures.mtbf_factor {
-            Some(f) => model.scaled_mtbf(f),
+            // The factor was range-checked at parse time, so the typed
+            // constructor cannot fail here.
+            Some(f) => model.try_scaled_mtbf(f).expect("mtbf_factor validated at parse time"),
             None => model,
         })
     }
@@ -838,13 +1012,17 @@ impl Scenario {
             let rate: f64 = model.classes.iter().map(|c| 1.0 / c.interarrival.mtbf_secs()).sum();
             CheckpointConfig::for_mtti(1.0 / rate).sim_policy()
         });
-        SimConfig {
+        let mut cfg = SimConfig {
             cluster: self.cluster_spec(),
             detailed_series_jobs: detailed,
             failures,
             checkpoint,
             ..Default::default()
+        };
+        if let Some(edges) = &self.reliability.size_buckets {
+            cfg.size_bucket_edges = edges.clone();
         }
+        cfg
     }
 
     /// The policy A/B arm.
@@ -928,6 +1106,24 @@ impl Scenario {
             push_kv(&mut out, "seed", &TomlValue::Integer(v as i64));
         }
         push_opt_f64(&mut out, "train_fraction", self.classifier.train_fraction);
+
+        out.push_str("\n[reliability]\n");
+        push_kv(&mut out, "enabled", &TomlValue::Bool(self.reliability.enabled));
+        push_opt_usize(&mut out, "sweep_points", self.reliability.sweep_points);
+        push_opt_f64(&mut out, "sweep_span", self.reliability.sweep_span);
+        if let Some(v) = &self.reliability.mtbf_factors {
+            let items = v.iter().map(|&f| TomlValue::Float(f)).collect();
+            push_kv(&mut out, "mtbf_factors", &TomlValue::Array(items));
+        }
+        if let Some(v) = &self.reliability.size_buckets {
+            let items = v.iter().map(|&e| TomlValue::Integer(e as i64)).collect();
+            push_kv(&mut out, "size_buckets", &TomlValue::Array(items));
+        }
+        if let Some(v) = &self.reliability.growth_factors {
+            let items = v.iter().map(|&f| TomlValue::Float(f)).collect();
+            push_kv(&mut out, "growth_factors", &TomlValue::Array(items));
+        }
+        push_opt_f64(&mut out, "write_secs", self.reliability.write_secs);
         out
     }
 
@@ -1007,6 +1203,19 @@ impl Scenario {
             ));
         } else {
             out.push_str("  classifier:   off\n");
+        }
+        if self.reliability.enabled {
+            let cfg = self.reliability_config();
+            let buckets = match &self.reliability.size_buckets {
+                Some(v) => format!("{v:?}"),
+                None => "canonical".to_string(),
+            };
+            out.push_str(&format!(
+                "  reliability:  on ({} sweep points, span {}, mtbf factors {:?}, buckets {})\n",
+                cfg.sweep_points, cfg.sweep_span, cfg.mtbf_factors, buckets
+            ));
+        } else {
+            out.push_str("  reliability:  off\n");
         }
         out.push_str(&format!("  defaults:     scale {}, seed {}\n", self.scale, self.seed));
         out
@@ -1200,6 +1409,90 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::UnknownKey);
         assert_eq!(err.context, "[classifier] forest_size");
+    }
+
+    #[test]
+    fn reliability_section_parses_resolves_and_round_trips() {
+        let s = Scenario::parse(
+            "[scenario]\nname = \"r\"\n[failures]\nprofile = \"supercloud\"\n\
+             [reliability]\nenabled = true\nsweep_points = 7\nsweep_span = 3.0\n\
+             mtbf_factors = [1.0, 0.1]\nsize_buckets = [2, 8, 32]\n\
+             growth_factors = [2.0, 8.0]\nwrite_secs = 45.0\n",
+        )
+        .expect("valid");
+        assert!(s.reliability.enabled);
+        let cfg = s.reliability_config();
+        assert_eq!((cfg.sweep_points, cfg.sweep_span), (7, 3.0));
+        assert_eq!(cfg.mtbf_factors, vec![1.0, 0.1]);
+        assert_eq!(cfg.growth_factors, vec![2.0, 8.0]);
+        assert_eq!(cfg.write_secs, 45.0);
+        // Size buckets flow into the simulator config, not the study config.
+        assert_eq!(s.sim_config(1.0, 42).size_bucket_edges, vec![2, 8, 32]);
+        let round = Scenario::parse(&s.to_toml()).expect("canonical form parses");
+        assert_eq!(s, round);
+        assert_eq!(s.hash(), round.hash());
+    }
+
+    #[test]
+    fn absent_reliability_section_matches_library_defaults() {
+        let s = Scenario::parse(MINIMAL).expect("valid");
+        assert!(!s.reliability.enabled);
+        let cfg = s.reliability_config();
+        let defaults = sc_core::ReliabilityConfig::default();
+        assert_eq!(cfg.sweep_points, defaults.sweep_points);
+        assert_eq!(cfg.mtbf_factors, defaults.mtbf_factors);
+        assert_eq!(s.sim_config(1.0, 42).size_bucket_edges, SimConfig::default().size_bucket_edges);
+    }
+
+    #[test]
+    fn reliability_diagnostics_are_typed() {
+        // Enabling the study without a failure profile is a range error,
+        // not a silent no-op.
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nenabled = true\n")
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[reliability] enabled");
+        assert_eq!(err.line, 4);
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nsweep_points = 1\n")
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[reliability] sweep_points");
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nsweep_span = 1.0\n")
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[reliability] sweep_span");
+
+        let err =
+            Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nmtbf_factors = [1.0, 0.0]\n")
+                .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[reliability] mtbf_factors");
+
+        // Non-increasing bucket edges.
+        let err =
+            Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nsize_buckets = [8, 2]\n")
+                .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[reliability] size_buckets");
+
+        // Bucket edges must be integers, with the offending type named.
+        let err =
+            Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nsize_buckets = [2.5]\n")
+                .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Type { .. }), "{err}");
+        assert_eq!(err.context, "[reliability] size_buckets");
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\ngrowth_factor = 2.0\n")
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownKey);
+        assert_eq!(err.context, "[reliability] growth_factor");
+
+        let err = Scenario::parse("[scenario]\nname = \"x\"\n[reliability]\nwrite_secs = -1.0\n")
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Range(_)), "{err}");
+        assert_eq!(err.context, "[reliability] write_secs");
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod query;
 pub mod service;
 
 pub use digest::{fnv1a64, Digest};
-pub use query::Query;
+pub use query::{Query, RelQuery};
 pub use service::{Completed, Pending, Response, ServeConfig, ServeMetrics, Service};

@@ -11,6 +11,39 @@ use sc_core::{FigureId, PointStat};
 use sc_policy::PolicySpec;
 use sc_telemetry::corruption::DataQualityProfile;
 
+/// One reliability sub-query (`rel:<name>`): each replays the frozen
+/// trace through the failure-injected event loop and renders one
+/// figure of the reliability family. Heavy like the policy arms, so
+/// the memo cache carries repeat requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelQuery {
+    /// Per-size-class ETTF/ETTR/failure-rate table (`rel:summary`).
+    Summary,
+    /// Goodput frontier across MTBF settings (`rel:frontier`).
+    Frontier,
+    /// Young/Daly checkpoint-interval sweep (`rel:sweep`).
+    Sweep,
+}
+
+impl RelQuery {
+    /// Every reliability sub-query, in token order.
+    pub const ALL: [RelQuery; 3] = [RelQuery::Summary, RelQuery::Frontier, RelQuery::Sweep];
+
+    /// The token suffix naming this sub-query.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RelQuery::Summary => "summary",
+            RelQuery::Frontier => "frontier",
+            RelQuery::Sweep => "sweep",
+        }
+    }
+
+    /// Parses a [`RelQuery::name`] suffix.
+    pub fn parse(s: &str) -> Option<RelQuery> {
+        RelQuery::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
 /// One question the service can answer about its frozen world.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Query {
@@ -24,6 +57,9 @@ pub enum Query {
     /// A data-quality what-if (`dq:<profile>`): corrupt the frozen
     /// dataset, re-ingest, and render the recovery report.
     DataQuality(DataQualityProfile),
+    /// A reliability what-if (`rel:<name>`): replay the frozen trace
+    /// under the failure model and render one reliability figure.
+    Reliability(RelQuery),
 }
 
 impl Query {
@@ -34,6 +70,7 @@ impl Query {
             Query::Figure(id) => format!("fig:{}", id.name()),
             Query::PolicyAb(spec) => format!("ab:{}", spec.label()),
             Query::DataQuality(profile) => format!("dq:{}", profile.label()),
+            Query::Reliability(r) => format!("rel:{}", r.name()),
         }
     }
 
@@ -62,8 +99,14 @@ impl Query {
                 .map(Query::DataQuality)
                 .ok_or_else(|| format!("unknown data-quality profile {name:?}"));
         }
+        if let Some(name) = s.strip_prefix("rel:") {
+            return RelQuery::parse(name)
+                .map(Query::Reliability)
+                .ok_or_else(|| format!("unknown reliability query {name:?}"));
+        }
         Err(format!(
-            "unknown query {s:?}: expected point:<stat> | fig:<figure> | ab:<policy> | dq:<profile>"
+            "unknown query {s:?}: expected point:<stat> | fig:<figure> | ab:<policy> | \
+             dq:<profile> | rel:<summary|frontier|sweep>"
         ))
     }
 
@@ -94,6 +137,13 @@ impl Query {
         qs
     }
 
+    /// Every reliability query, in token order. Kept out of
+    /// [`Query::standard_queries`] so the CI serve-leg digest (a fold
+    /// over the standard surface) stays comparable across releases.
+    pub fn reliability_queries() -> Vec<Query> {
+        RelQuery::ALL.iter().copied().map(Query::Reliability).collect()
+    }
+
     /// The full standard query surface: points, figures, then what-ifs.
     pub fn standard_queries() -> Vec<Query> {
         let mut qs = Query::point_queries();
@@ -115,7 +165,7 @@ mod tests {
 
     #[test]
     fn every_standard_query_token_round_trips() {
-        for q in Query::standard_queries() {
+        for q in Query::standard_queries().into_iter().chain(Query::reliability_queries()) {
             let token = q.token();
             assert_eq!(Query::parse(&token), Ok(q), "{token}");
         }
@@ -127,6 +177,7 @@ mod tests {
         assert!(Query::parse("point:vibes").is_err());
         assert!(Query::parse("ab:turbo").is_err());
         assert!(Query::parse("dq:pristine").is_err());
+        assert!(Query::parse("rel:ettf").is_err());
         assert!(Query::parse("median_run_min").is_err());
     }
 

@@ -22,10 +22,10 @@
 //! deterministic `ERROR …` body rather than an `Err`, so error
 //! responses memoize and coalesce exactly like successes.
 
-use crate::query::Query;
-use sc_cluster::{SimConfig, SimOutput, Simulation};
+use crate::query::{Query, RelQuery};
+use sc_cluster::{FailureModel, SimConfig, SimOutput, Simulation};
 use sc_core::pipeline::DatasetReport;
-use sc_core::{corrupt_and_ingest, QueryKey};
+use sc_core::{corrupt_and_ingest, QueryKey, ReliabilityConfig};
 use sc_obs::stagelog::StageSpan;
 use sc_obs::{Obs, SharedCounter, StageLog};
 use sc_par::{CacheOutcome, CacheStats, Executor, MemoCache};
@@ -334,6 +334,49 @@ impl Service {
             Query::DataQuality(profile) => self
                 .compute_data_quality(*profile)
                 .unwrap_or_else(|e| format!("ERROR dq:{}: {e}\n", profile.label())),
+            Query::Reliability(r) => self.compute_reliability(*r),
+        }
+    }
+
+    /// Answers one `rel:*` query: replay the frozen trace under the
+    /// scenario's failure model (or a stressed Supercloud default when
+    /// the world has none) and render the requested figure. Like the
+    /// policy arms, the replay skips the detailed telemetry subset and
+    /// relies on the memo cache to amortize repeats.
+    fn compute_reliability(&self, r: RelQuery) -> String {
+        let base = SimConfig { detailed_series_jobs: 0, ..self.sim_config.clone() };
+        let model = self
+            .config
+            .scenario
+            .as_ref()
+            .and_then(|sc| sc.failure_model(self.config.seed))
+            .unwrap_or_else(|| FailureModel::supercloud(self.config.seed).scaled_mtbf(0.05));
+        let cfg = match &self.config.scenario {
+            Some(sc) => sc.reliability_config(),
+            // Flag-default world: a small grid keeps cold latency in
+            // policy-arm territory (each point is one event-loop run).
+            None => ReliabilityConfig {
+                mtbf_factors: vec![1.0, 0.2],
+                sweep_points: 3,
+                sweep_span: 2.0,
+                growth_factors: Vec::new(),
+                write_secs: 30.0,
+            },
+        };
+        match r {
+            RelQuery::Summary => {
+                sc_core::reliability::reliability_size_fig(&self.trace, &base, &model).render()
+            }
+            RelQuery::Frontier => sc_core::reliability::goodput_frontier(
+                &self.trace,
+                &base,
+                &model,
+                &cfg.mtbf_factors,
+            )
+            .render(),
+            RelQuery::Sweep => {
+                sc_core::reliability::checkpoint_sweep(&self.trace, &base, &model, &cfg).render()
+            }
         }
     }
 
@@ -487,6 +530,42 @@ mod tests {
         assert_eq!(s.query_blocking(&q).outcome, CacheOutcome::Miss);
         assert_eq!(s.query_blocking(&q).outcome, CacheOutcome::Miss);
         assert_eq!(s.metrics().misses.get(), 2);
+    }
+
+    #[test]
+    fn reliability_queries_serve_hit_and_match_cold_bytes() {
+        let s = svc();
+        for q in Query::reliability_queries() {
+            let first = s.query_blocking(&q);
+            assert!(!first.body.is_empty(), "{}", q.token());
+            assert!(!first.body.contains("ERROR"), "{}: {}", q.token(), first.body);
+            let again = s.query_blocking(&q);
+            assert_eq!(again.outcome, CacheOutcome::Hit, "{}", q.token());
+            assert_eq!(first.body, again.body, "{}", q.token());
+            // The memoized bytes equal a cold recompute: the cache can
+            // only change latency, never content.
+            assert_eq!(s.query_uncached(&q), first.body, "{}", q.token());
+        }
+    }
+
+    #[test]
+    fn reliability_summary_respects_the_scenario_failure_model() {
+        // A scenario with a stress failure profile must answer
+        // rel:summary from its own model, not the flag-default one.
+        let sc = Scenario::parse(
+            "[scenario]\nname = \"rel\"\n[failures]\nprofile = \"stress\"\n\
+             [reliability]\nenabled = true\nsweep_points = 2\nmtbf_factors = [1.0]\n",
+        )
+        .expect("valid scenario");
+        let s = Service::build(ServeConfig {
+            scale: 0.002,
+            users_floor: 8,
+            threads: 1,
+            scenario: Some(sc),
+            ..ServeConfig::default()
+        });
+        let body = s.query_blocking(&Query::Reliability(RelQuery::Summary)).body;
+        assert!(body.contains("Reliability vs job size"), "{body}");
     }
 
     #[test]

@@ -42,6 +42,14 @@ Suites:
              the predicted-vs-oracle goodput delta must sit inside the
              band (a null delta means the oracle arm never ran, which
              fails — the closed loop is the thing under test).
+  reliability --reliability JSON: a `repro_figures --reliability-json`
+             report; the simulated per-size-class optimal checkpoint
+             interval must land within a band of the Young/Daly
+             analytic optimum (worst-class ratio, either direction),
+             the goodput frontier must degrade monotonically as MTBF
+             shrinks, and the cluster-growth replay must hold the
+             event-loop throughput floor. Null gated scalars (a study
+             that never ran its sweep or growth legs) fail as missing.
 
 --serve-compare FILE... additionally requires the response digests of
 two or more serve_load reports to be identical — the byte-level
@@ -61,6 +69,7 @@ usage: check_bench.py [BASELINE SMOKE] [--tolerance 2.0]
                       [--streaming LOG]
                       [--serve JSON] [--serve-compare JSON JSON...]
                       [--classifier JSON]
+                      [--reliability JSON]
                       [--selftest]
 """
 
@@ -126,6 +135,22 @@ CLASSIFIER_GATES = [
     Gate("ceiling", "goodput_delta_pp", 10.0),
     Gate("floor", "train_jobs", 50),
     Gate("floor", "test_jobs", 20),
+]
+
+
+# Gates for a `repro_figures --reliability-json` report. The sweep band
+# is coarse on purpose: the simulated optimum comes off a geometric
+# interval grid (default 5 points over a 16x range, so one grid step is
+# ~2x), and the gate catches the overhead model decoupling from the
+# Young/Daly prediction (the pre-fix failure mode was ~12x: write
+# stalls were never debited, so the argmax pinned to the smallest
+# interval). Frontier monotonicity has a small epsilon for scheduler
+# noise; the growth floor is an order-of-magnitude event-loop
+# throughput guard, far below the ~20k jobs/sec a smoke run sustains.
+RELIABILITY_GATES = [
+    Gate("ceiling", "sweep_worst_ratio", 4.0),
+    Gate("ceiling", "frontier_monotone_violation", 0.05),
+    Gate("floor", "growth_min_jobs_per_sec", 200.0),
 ]
 
 
@@ -257,6 +282,16 @@ def check_classifier(path):
     return apply_gates("classifier", metrics, CLASSIFIER_GATES)
 
 
+def check_reliability(path):
+    report = load(path)
+    # Null scalars (a sweep with no per-class verdict, a study that
+    # never ran its growth leg) drop out of the metric dict, so the
+    # gates fail them as missing — the legs are what this suite gates.
+    metrics = {k: v for k, v in report.items()
+               if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    return apply_gates("reliability", metrics, RELIABILITY_GATES)
+
+
 def check_repro(baseline_path, smoke_path, tolerance, max_rss_ratio):
     base = load(baseline_path)
     smoke = load(smoke_path)
@@ -351,6 +386,10 @@ def selftest():
          lambda: check_classifier(fixture("classifier_pass.json")), True),
         ("classifier fail",
          lambda: check_classifier(fixture("classifier_fail.json")), False),
+        ("reliability pass",
+         lambda: check_reliability(fixture("reliability_pass.json")), True),
+        ("reliability fail",
+         lambda: check_reliability(fixture("reliability_fail.json")), False),
     ]
     wrong = []
     for name, run, expect_pass in cases:
@@ -422,6 +461,12 @@ def main():
         "floor, predicted-vs-oracle goodput band, split-size floors)",
     )
     ap.add_argument(
+        "--reliability",
+        metavar="JSON",
+        help="repro_figures --reliability-json report to gate (Young/Daly "
+        "sweep band, frontier monotonicity, growth throughput floor)",
+    )
+    ap.add_argument(
         "--selftest",
         action="store_true",
         help="judge every suite against its committed scripts/fixtures/ "
@@ -448,11 +493,14 @@ def main():
         failures += check_serve_compare(args.serve_compare)
     if args.classifier:
         failures += check_classifier(args.classifier)
+    if args.reliability:
+        failures += check_reliability(args.reliability)
     if args.baseline:
         failures += check_repro(args.baseline, args.smoke, args.tolerance,
                                 args.max_rss_ratio)
     if not (args.placement or args.streaming or args.serve
-            or args.serve_compare or args.classifier or args.baseline):
+            or args.serve_compare or args.classifier or args.reliability
+            or args.baseline):
         ap.error("nothing to do: give BASELINE SMOKE, a suite flag, "
                  "or --selftest")
 

@@ -557,6 +557,71 @@ fn coshare_predicted_policy_is_deterministic_across_thread_budgets() {
     assert_eq!(a.4, b.4, "embedded classifier evaluation must not depend on threads");
 }
 
+const GOLDEN_RELIABILITY: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/reliability_report_scale001_seed42.txt"
+);
+
+/// One reliability study over the standard 1%-scale world: a stressed
+/// supercloud failure model, a two-point MTBF frontier, a three-point
+/// Young/Daly sweep, and a 2x growth leg. Small enough to run in the
+/// test suite, rich enough that every figure family renders rows.
+fn reliability_study(seed: u64) -> ReliabilityReport {
+    let mut spec = WorkloadSpec::supercloud().scaled(0.01);
+    spec.users = 32;
+    let trace = Trace::generate(&spec, seed);
+    let base = SimConfig { detailed_series_jobs: 0, ..Default::default() };
+    let model = FailureModel::supercloud(seed).scaled_mtbf(0.05);
+    let cfg = ReliabilityConfig {
+        mtbf_factors: vec![1.0, 0.2],
+        sweep_points: 3,
+        sweep_span: 2.0,
+        growth_factors: vec![2.0],
+        write_secs: 30.0,
+    };
+    run_reliability_study(&trace, &base, &model, &cfg)
+}
+
+/// Golden-reliability regression: the rendered reliability report —
+/// per-size-class ETTF/ETTR table, goodput frontier, checkpoint sweep
+/// with its Young/Daly verdicts, and the growth rows — for a fixed
+/// seed must match the committed bytes exactly. Wall-clock timings are
+/// excluded from the render by construction. Intentional changes
+/// regenerate via `scripts/update_golden.sh` (or `SC_REGEN_GOLDEN=1`)
+/// and justify the diff in review.
+#[test]
+fn golden_reliability_report_matches_committed_bytes() {
+    let rendered = reliability_study(42).render();
+    if std::env::var("SC_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_RELIABILITY, &rendered).expect("write golden reliability report");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_RELIABILITY)
+        .expect("golden reliability report committed at tests/golden/");
+    assert_eq!(
+        rendered, golden,
+        "reliability report diverges from golden; regenerate with scripts/update_golden.sh if \
+         intentional"
+    );
+}
+
+/// The reliability study under the deterministic-parallelism rule: all
+/// accumulation happens on the single-threaded event loop and only
+/// telemetry synthesis fans out, so the rendered report must be
+/// byte-identical between a 1-thread and an N-thread run (the CI matrix
+/// sweeps N over 1, 4, 8 via `SC_PAR_THREADS`).
+#[test]
+fn reliability_report_is_deterministic_across_thread_budgets() {
+    let saved = sc_repro::par::current_threads();
+    sc_repro::par::set_max_threads(1);
+    let a = reliability_study(7);
+    sc_repro::par::set_max_threads(alt_thread_budget());
+    let b = reliability_study(7);
+    sc_repro::par::set_max_threads(saved);
+
+    assert_eq!(a.render(), b.render(), "reliability report must not depend on the thread budget");
+}
+
 /// The failure subsystem under the same rule: the pre-computed failure
 /// schedule, every requeue decision (job fates), the goodput ledger,
 /// and the rendered figures must be byte-identical between a 1-thread

@@ -313,16 +313,17 @@ mod goodput_fuzz {
             let deaths: u64 = g.deaths_by_cause.iter().sum();
             prop_assert_eq!(deaths, g.total_deaths());
 
-            // Every bucket is non-negative and checkpoint writes are a
-            // subset of useful time, never a fourth bucket.
+            // Every bucket is non-negative and checkpoint write stalls
+            // are a subset of idle time (debited from useful at settle),
+            // never a fourth bucket.
             for v in [g.useful_gpu_secs, g.lost_gpu_secs, g.idle_gpu_secs] {
                 prop_assert!(v >= 0.0, "negative bucket in {g:?}");
             }
             prop_assert!(
-                g.checkpoint_write_gpu_secs <= g.useful_gpu_secs + 1e-6,
-                "checkpoint writes {} exceed useful {}",
+                g.checkpoint_write_gpu_secs <= g.idle_gpu_secs + 1e-6,
+                "checkpoint writes {} exceed idle {}",
                 g.checkpoint_write_gpu_secs,
-                g.useful_gpu_secs,
+                g.idle_gpu_secs,
             );
 
             // Deaths only happen when the injector actually fired, and
